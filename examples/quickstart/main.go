@@ -1,0 +1,67 @@
+// Quickstart: create an FPTree, store some pairs, scan a range, save the
+// durable image to disk and reload it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fptree"
+)
+
+func main() {
+	tree, err := fptree.Create(fptree.Options{PoolSize: 64 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store a million sensor readings keyed by timestamp.
+	for ts := uint64(1); ts <= 100_000; ts++ {
+		if err := tree.Insert(ts, ts*ts%997); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("tree holds %d keys\n", tree.Len())
+
+	// Point lookups.
+	if v, ok := tree.Find(42); ok {
+		fmt.Printf("reading at t=42: %d\n", v)
+	}
+
+	// Range scan: the first five readings from t=1000.
+	for _, kv := range tree.ScanN(1000, 5) {
+		fmt.Printf("t=%d -> %d\n", kv.Key, kv.Value)
+	}
+
+	// Updates commit with a single p-atomic bitmap store.
+	if _, err := tree.Update(42, 4242); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := tree.Find(42)
+	fmt.Printf("after update: %d\n", v)
+
+	// Persist the arena image and reload it — recovery rebuilds the DRAM
+	// inner nodes from the SCM leaf list.
+	dir, err := os.MkdirTemp("", "fptree-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	img := filepath.Join(dir, "arena.img")
+	if err := tree.Save(img); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := fptree.Load(img, fptree.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded tree holds %d keys; t=42 -> ", reloaded.Len())
+	v, _ = reloaded.Find(42)
+	fmt.Println(v)
+
+	// SCM activity of this session.
+	st := tree.Pool().Stats().Snapshot()
+	fmt.Printf("SCM stats: %d flushes, %d allocations\n", st.Flushes, st.Allocs)
+}

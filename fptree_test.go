@@ -1,0 +1,198 @@
+package fptree
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPublicAPITree(t *testing.T) {
+	tree, err := Create(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 5000; k++ {
+		if err := tree.Insert(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tree.Len() != 5000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if v, ok := tree.Find(77); !ok || v != 154 {
+		t.Fatalf("Find = %d,%v", v, ok)
+	}
+	if ok, _ := tree.Update(77, 1); !ok {
+		t.Fatal("update failed")
+	}
+	if ok, _ := tree.Delete(78); !ok {
+		t.Fatal("delete failed")
+	}
+	if err := tree.Upsert(78, 5); err != nil {
+		t.Fatal(err)
+	}
+	kvs := tree.ScanN(100, 10)
+	if len(kvs) != 10 || kvs[0].Key != 100 {
+		t.Fatalf("scan = %v", kvs)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPISaveLoad(t *testing.T) {
+	tree, err := Create(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	path := filepath.Join(t.TempDir(), "t.img")
+	if err := tree.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1000 {
+		t.Fatalf("reloaded Len = %d", re.Len())
+	}
+}
+
+func TestPublicAPICrashRecover(t *testing.T) {
+	tree, err := Create(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 2000; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	tree.Pool().Crash()
+	if err := tree.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 2000 {
+		t.Fatalf("Len after recovery = %d", tree.Len())
+	}
+}
+
+func TestPublicAPIConcurrent(t *testing.T) {
+	tree, err := CreateConcurrent(Options{PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := uint64(0); i < 2000; i++ {
+				k := uint64(w)*2000 + i + 1
+				if err := tree.Insert(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tree.Len() != 8000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	tree.Pool().Crash()
+	if err := tree.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tree.Find(5); !ok || v != 5 {
+		t.Fatalf("after recovery Find(5) = %d,%v", v, ok)
+	}
+}
+
+func TestPublicAPIVar(t *testing.T) {
+	tree, err := CreateVar(Options{PoolSize: 64 << 20, ValueSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		k := []byte(fmt.Sprintf("user:%06d", i))
+		if err := tree.Insert(k, []byte("profile")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := tree.Find([]byte("user:000042")); !ok || string(v[:7]) != "profile" {
+		t.Fatalf("var find = %q,%v", v, ok)
+	}
+	got := tree.ScanN([]byte("user:000100"), 3)
+	if len(got) != 3 || string(got[0].Key) != "user:000100" {
+		t.Fatalf("var scan = %v", got)
+	}
+}
+
+func TestPublicAPIConcurrentVar(t *testing.T) {
+	tree, err := CreateConcurrentVar(Options{PoolSize: 64 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := []byte(fmt.Sprintf("w%d-%05d", w, i))
+				if err := tree.Insert(k, []byte("v")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if tree.Len() != 4000 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}
+
+func TestPublicAPIPTreeVariant(t *testing.T) {
+	tree, err := Create(Options{PoolSize: 32 << 20, PTree: true, LeafCap: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 500; k++ {
+		tree.Insert(k, k) //nolint:errcheck
+	}
+	if v, ok := tree.Find(123); !ok || v != 123 {
+		t.Fatalf("ptree find = %d,%v", v, ok)
+	}
+}
+
+func TestPublicAPILatencyEmulation(t *testing.T) {
+	mk := func(ns time.Duration) time.Duration {
+		tree, err := Create(Options{
+			PoolSize: 32 << 20,
+			Latency:  LatencyProfile{Emulate: ns > 0, Read: ns, Write: ns, CacheBytes: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 2000; k++ {
+			tree.Insert(k, k) //nolint:errcheck
+		}
+		start := time.Now()
+		for k := uint64(1); k <= 2000; k++ {
+			tree.Find(k)
+		}
+		return time.Since(start)
+	}
+	fast := mk(0)
+	slow := mk(2 * time.Microsecond)
+	if slow < fast*3 {
+		t.Fatalf("latency emulation had no effect: fast=%v slow=%v", fast, slow)
+	}
+}

@@ -1,0 +1,3 @@
+module fptree
+
+go 1.23

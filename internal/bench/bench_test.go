@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The harness tests run every experiment at a tiny scale: they verify that
+// each table generator runs end-to-end and emits the expected row structure.
+
+var tiny = Scale{Warm: 2000, Ops: 1000}
+
+func TestFig7FixedRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7Fixed(&buf, tiny, []int{0}, FixedKinds); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"FPTree", "PTree", "NV-Tree", "wBTree", "STXTree"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("missing row for %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig7VarRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7Var(&buf, tiny, []int{0}, FixedKinds); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FPTreeVar") {
+		t.Fatalf("missing FPTreeVar row:\n%s", buf.String())
+	}
+}
+
+func TestFig7RecoveryRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7Recovery(&buf, []int{2000}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recovery(ms)") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig8MemoryRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig8Memory(&buf, 5000); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FPTree") || !strings.Contains(out, "DRAM") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestFig4ProbesRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4Probes(&buf, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FP(analytic)") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig4AnalyticFormula(t *testing.T) {
+	// Spot values from the paper's Figure 4: E[T] ~1 for m up to ~400 with
+	// n = 256.
+	if e := expectedFPProbes(32, 256); e < 1.0 || e > 1.2 {
+		t.Fatalf("E[T] at m=32: %f", e)
+	}
+	if e := expectedFPProbes(256, 256); e < 1.2 || e > 1.6 {
+		t.Fatalf("E[T] at m=256: %f", e)
+	}
+}
+
+func TestFig9ConcurrencyRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig9Concurrency(&buf, tiny, []int{1, 2}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FPTreeC") || !strings.Contains(out, "NV-TreeC") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestFig12TATPRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig12TATP(&buf, 2000, 4000, 2, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "restart(ms)") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestFig13MemcachedRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig13Memcached(&buf, 2, 400, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "HashMap") {
+		t.Fatal("missing HashMap row")
+	}
+}
+
+func TestFig14PayloadRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig14Payload(&buf, Scale{Warm: 500, Ops: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "payload") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1NodeSizes(&buf, Scale{Warm: 1000, Ops: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "inner") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationFingerprints(&buf, Scale{Warm: 1000, Ops: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationGroups(&buf, Scale{Warm: 1000, Ops: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if err := AblationSelectivePersistence(&buf, Scale{Warm: 1000, Ops: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatal("missing ablation output")
+	}
+}
+
+func TestAdaptersRoundTrip(t *testing.T) {
+	for _, kind := range FixedKinds {
+		inst, err := NewFixed(kind, 32, LatencyNS(0, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 200; k++ {
+			if err := inst.Fixed.Insert(k, k*2); err != nil {
+				t.Fatalf("%s: %v", inst.Name, err)
+			}
+		}
+		for k := uint64(1); k <= 200; k++ {
+			v, ok := inst.Fixed.Find(k)
+			if !ok || v != k*2 {
+				t.Fatalf("%s: find(%d) = %d,%v", inst.Name, k, v, ok)
+			}
+		}
+		if ok, _ := inst.Fixed.Update(5, 99); !ok {
+			t.Fatalf("%s: update failed", inst.Name)
+		}
+		if ok, _ := inst.Fixed.Delete(7); !ok {
+			t.Fatalf("%s: delete failed", inst.Name)
+		}
+	}
+	for _, kind := range FixedKinds {
+		inst, err := NewVar(kind, 64, 8, LatencyNS(0, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := uint64(1); k <= 200; k++ {
+			if err := inst.Var.Insert(keys16(k), []byte("12345678")); err != nil {
+				t.Fatalf("%s: %v", inst.Name, err)
+			}
+		}
+		for k := uint64(1); k <= 200; k++ {
+			if _, ok := inst.Var.Find(keys16(k)); !ok {
+				t.Fatalf("%s: var find(%d) failed", inst.Name, k)
+			}
+		}
+	}
+}

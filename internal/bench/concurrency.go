@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fig9Concurrency reproduces Figures 9-11: throughput and speedup of the
+// concurrent FPTree and NV-Tree across thread counts, for the
+// Find/Insert/Update/Delete/Mixed workloads. latNS selects the emulated SCM
+// latency (85 for Figure 9/10, 145 for Figure 11 — the paper's local vs
+// remote socket latencies).
+func Fig9Concurrency(w io.Writer, sc Scale, threads []int, latNS int, varKeys bool) error {
+	title := "fixed keys"
+	if varKeys {
+		title = "variable-size keys"
+	}
+	fmt.Fprintf(w, "# Figures 9-11: concurrent throughput, %s, SCM %dns\n", title, latNS)
+	fmt.Fprintf(w, "%-12s %8s %-8s %14s %10s\n", "tree", "threads", "op", "Mops/s", "speedup")
+	for _, kind := range []Kind{KindFPTreeC, KindNVTreeC} {
+		base := map[string]float64{}
+		for _, th := range threads {
+			rows, err := runConcurrent(kind, sc, th, latNS, varKeys)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				if th == threads[0] {
+					base[r.op] = r.mops
+				}
+				sp := r.mops / base[r.op] * float64(threads[0])
+				fmt.Fprintf(w, "%-12s %8d %-8s %14.3f %9.2fx\n", r.name, th, r.op, r.mops, sp)
+			}
+		}
+	}
+	return nil
+}
+
+type concRow struct {
+	name string
+	op   string
+	mops float64
+}
+
+// runConcurrent warms the tree and measures each operation type with th
+// goroutines over disjoint key stripes.
+func runConcurrent(kind Kind, sc Scale, th, latNS int, varKeys bool) ([]concRow, error) {
+	lat := LatencyNS(latNS, true)
+	var name string
+	var ft FixedTree
+	var vt VarTree
+	var err error
+	if varKeys {
+		name, vt, _, err = NewConcurrentVar(kind, poolForScale(sc)*4, 8, lat)
+	} else {
+		name, ft, _, err = NewConcurrentFixed(kind, poolForScale(sc)*2, lat)
+	}
+	if err != nil {
+		return nil, err
+	}
+	warm := genKeys(sc.Warm, 21)
+	extra := genKeys(sc.Ops, 22)
+	val := []byte("valuedat")
+	insertOne := func(k uint64, v uint64) error {
+		if varKeys {
+			return vt.Insert(keys16(k), val)
+		}
+		return ft.Insert(k, v)
+	}
+	for _, k := range warm {
+		if err := insertOne(k, k); err != nil {
+			return nil, err
+		}
+	}
+
+	parallel := func(n int, fn func(i int)) float64 {
+		var wg sync.WaitGroup
+		chunk := n / th
+		if chunk == 0 {
+			chunk = 1
+		}
+		start := time.Now()
+		for t := 0; t < th; t++ {
+			lo := t * chunk
+			hi := lo + chunk
+			if t == th-1 {
+				hi = n
+			}
+			if lo >= n {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		return float64(n) / time.Since(start).Seconds() / 1e6
+	}
+
+	var rows []concRow
+	rows = append(rows, concRow{name, "Find", parallel(sc.Ops, func(i int) {
+		if varKeys {
+			vt.Find(keys16(warm[i%len(warm)]))
+		} else {
+			ft.Find(warm[i%len(warm)])
+		}
+	})})
+	rows = append(rows, concRow{name, "Insert", parallel(sc.Ops, func(i int) {
+		if varKeys {
+			vt.Insert(keys16(extra[i]), val) //nolint:errcheck
+		} else {
+			ft.Insert(extra[i], 1) //nolint:errcheck
+		}
+	})})
+	rows = append(rows, concRow{name, "Update", parallel(sc.Ops, func(i int) {
+		if varKeys {
+			vt.Update(keys16(warm[i%len(warm)]), val) //nolint:errcheck
+		} else {
+			ft.Update(warm[i%len(warm)], 2) //nolint:errcheck
+		}
+	})})
+	rows = append(rows, concRow{name, "Delete", parallel(sc.Ops, func(i int) {
+		if varKeys {
+			vt.Delete(keys16(extra[i])) //nolint:errcheck
+		} else {
+			ft.Delete(extra[i]) //nolint:errcheck
+		}
+	})})
+	mixed := genKeys(sc.Ops, 23)
+	rows = append(rows, concRow{name, "Mixed", parallel(sc.Ops, func(i int) {
+		if i%2 == 0 {
+			if varKeys {
+				vt.Insert(keys16(mixed[i]), val) //nolint:errcheck
+			} else {
+				ft.Insert(mixed[i], 1) //nolint:errcheck
+			}
+		} else {
+			if varKeys {
+				vt.Find(keys16(warm[i%len(warm)]))
+			} else {
+				ft.Find(warm[i%len(warm)])
+			}
+		}
+	})})
+	return rows, nil
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBulkLoadBasics(t *testing.T) {
+	tr := newTree(t, Config{LeafCap: 16, InnerFanout: 8, GroupSize: 4})
+	rng := rand.New(rand.NewSource(1))
+	kvs := make([]KV, 5000)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i)*3 + 1, Value: rng.Uint64()}
+	}
+	if err := tr.BulkLoad(kvs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != len(kvs) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, kv := range kvs {
+		v, ok := tr.Find(kv.Key)
+		if !ok || v != kv.Value {
+			t.Fatalf("find(%d) = %d,%v", kv.Key, v, ok)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The tree remains fully operational after a bulk load.
+	if err := tr.Insert(2, 22); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := tr.Delete(4); !ok {
+		t.Fatal("delete after bulk load failed")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidation(t *testing.T) {
+	tr := newTree(t, Config{LeafCap: 8, GroupSize: 4})
+	if err := tr.BulkLoad([]KV{{3, 0}, {1, 0}}, 0); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+	if err := tr.BulkLoad([]KV{{1, 0}}, 1.5); err == nil {
+		t.Fatal("bad fill accepted")
+	}
+	if err := tr.Insert(9, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BulkLoad([]KV{{1, 0}}, 0); err == nil {
+		t.Fatal("bulk load into non-empty tree accepted")
+	}
+	tr2 := newTree(t, Config{LeafCap: 8}) // groups disabled
+	if err := tr2.BulkLoad([]KV{{1, 0}}, 0); err == nil {
+		t.Fatal("bulk load without groups accepted")
+	}
+}
+
+func TestBulkLoadCrashPrefix(t *testing.T) {
+	pool := newPool(64)
+	tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs := make([]KV, 2000)
+	for i := range kvs {
+		kvs[i] = KV{Key: uint64(i) + 1, Value: uint64(i) * 7}
+	}
+	pool.FailAfterFlushes(150)
+	func() {
+		defer func() { recover() }()
+		tr.BulkLoad(kvs, 0) //nolint:errcheck
+	}()
+	pool.FailAfterFlushes(-1)
+	pool.Crash()
+	tr2, err := Open(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered contents must be exactly a prefix of the load.
+	got := tr2.ScanN(0, len(kvs)+1)
+	if len(got) > len(kvs) {
+		t.Fatalf("recovered %d > loaded %d", len(got), len(kvs))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+		t.Fatal("recovered scan not sorted")
+	}
+	for i, kv := range got {
+		if kv != kvs[i] {
+			t.Fatalf("recovered[%d] = %v, want %v (not a prefix)", i, kv, kvs[i])
+		}
+	}
+}

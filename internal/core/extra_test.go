@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fptree/internal/scm"
+	"fptree/internal/stx"
+)
+
+// TestDifferentialAgainstSTX runs the same random workload against the
+// FPTree and the transient STX B+-Tree and requires identical answers —
+// a cross-implementation oracle that catches divergence bugs both ways.
+func TestDifferentialAgainstSTX(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fp, err := Create(newPool(32), Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sx := stx.New[uint64, uint64](4, 4, func(a, b uint64) bool { return a < b })
+		for i := 0; i < 3000; i++ {
+			k := rng.Uint64()%500 + 1
+			switch rng.Intn(4) {
+			case 0:
+				v := rng.Uint64()
+				if err := fp.Upsert(k, v); err != nil {
+					t.Fatal(err)
+				}
+				sx.Insert(k, v)
+			case 1:
+				ok1, _ := fp.Delete(k)
+				ok2 := sx.Delete(k)
+				if ok1 != ok2 {
+					t.Fatalf("seed %d op %d: delete(%d) fp=%v stx=%v", seed, i, k, ok1, ok2)
+				}
+			case 2:
+				v1, ok1 := fp.Find(k)
+				v2, ok2 := sx.Find(k)
+				if ok1 != ok2 || (ok1 && v1 != v2) {
+					t.Fatalf("seed %d op %d: find(%d) fp=%d,%v stx=%d,%v", seed, i, k, v1, ok1, v2, ok2)
+				}
+			case 3:
+				v := rng.Uint64()
+				ok1, _ := fp.Update(k, v)
+				ok2 := sx.Update(k, v)
+				if ok1 != ok2 {
+					t.Fatalf("seed %d op %d: update(%d) fp=%v stx=%v", seed, i, k, ok1, ok2)
+				}
+			}
+		}
+		if fp.Len() != sx.Len() {
+			t.Fatalf("seed %d: sizes diverge fp=%d stx=%d", seed, fp.Len(), sx.Len())
+		}
+		// Scans must agree pair-by-pair.
+		fkv := fp.ScanN(0, fp.Len()+1)
+		sk, sv := sx.ScanN(0, sx.Len()+1)
+		if len(fkv) != len(sk) {
+			t.Fatalf("seed %d: scan lengths diverge %d vs %d", seed, len(fkv), len(sk))
+		}
+		for i := range fkv {
+			if fkv[i].Key != sk[i] || fkv[i].Value != sv[i] {
+				t.Fatalf("seed %d: scan[%d] fp=%v stx=(%d,%d)", seed, i, fkv[i], sk[i], sv[i])
+			}
+		}
+	}
+}
+
+// TestCrashTornRecovery exercises recovery against torn cache lines: on
+// crash, each dirty line durably commits a random prefix of its 8-byte words
+// — the weakest guarantee the paper's p-atomicity assumption allows. All
+// acknowledged data must still survive.
+func TestCrashTornRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		pool := newPool(32)
+		tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked := map[uint64]uint64{}
+		for k := uint64(1); k <= 500; k++ {
+			if err := tr.Insert(k, k*11); err != nil {
+				t.Fatal(err)
+			}
+			acked[k] = k * 11
+		}
+		// Crash mid-operation with torn lines.
+		pool.FailAfterFlushes(int64(rng.Intn(12) + 1))
+		var inflight uint64
+		func() {
+			defer func() {
+				if r := recover(); r != nil && r != scm.ErrInjectedCrash {
+					panic(r)
+				}
+			}()
+			for k := uint64(10_000); ; k++ {
+				inflight = k
+				if err := tr.Insert(k, k); err != nil {
+					t.Fatal(err)
+				}
+				acked[k] = k
+			}
+		}()
+		delete(acked, inflight)
+		pool.FailAfterFlushes(-1)
+		pool.CrashTorn(rng)
+		tr2, err := Open(pool)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for k, v := range acked {
+			got, ok := tr2.Find(k)
+			if !ok || got != v {
+				t.Fatalf("trial %d: acked key %d = %d,%v want %d", trial, k, got, ok, v)
+			}
+		}
+	}
+}
+
+// TestScanRangeBoundaries checks scans starting exactly on, below and above
+// existing keys, including the extremes.
+func TestScanRangeBoundaries(t *testing.T) {
+	tr := newTree(t, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+	for k := uint64(10); k <= 1000; k += 10 {
+		if err := tr.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		from  uint64
+		first uint64
+	}{
+		{0, 10}, {9, 10}, {10, 10}, {11, 20}, {995, 1000}, {1000, 1000},
+	}
+	for _, c := range cases {
+		got := tr.ScanN(c.from, 1)
+		if len(got) != 1 || got[0].Key != c.first {
+			t.Fatalf("ScanN(%d) = %v, want first %d", c.from, got, c.first)
+		}
+	}
+	if got := tr.ScanN(1001, 1); len(got) != 0 {
+		t.Fatalf("scan past max returned %v", got)
+	}
+}
+
+// TestLargeValuesVarTree stresses the var tree with values at the configured
+// maximum and keys of wildly varying lengths.
+func TestLargeValuesVarTree(t *testing.T) {
+	tr := newVarTree(t, Config{LeafCap: 16, InnerFanout: 8, GroupSize: 4, ValueSize: 512})
+	rng := rand.New(rand.NewSource(3))
+	type rec struct{ k, v []byte }
+	var recs []rec
+	for i := 0; i < 400; i++ {
+		k := make([]byte, rng.Intn(200)+1)
+		rng.Read(k)
+		v := make([]byte, 512)
+		rng.Read(v)
+		if _, dup := tr.Find(k); dup {
+			continue
+		}
+		if err := tr.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec{k, v})
+	}
+	for _, r := range recs {
+		got, ok := tr.Find(r.k)
+		if !ok {
+			t.Fatalf("key %x missing", r.k[:4])
+		}
+		for i := range r.v {
+			if got[i] != r.v[i] {
+				t.Fatalf("value mismatch at byte %d", i)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolExhaustion verifies graceful ErrOutOfMemory handling: the tree
+// must stay consistent after failed inserts.
+func TestPoolExhaustion(t *testing.T) {
+	pool := scm.NewPool(1<<20, scm.LatencyConfig{CacheBytes: -1})
+	tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inserted uint64
+	var failed bool
+	for k := uint64(1); k <= 1_000_000; k++ {
+		if err := tr.Insert(k, k); err != nil {
+			failed = true
+			break
+		}
+		inserted = k
+	}
+	if !failed {
+		t.Fatal("pool never filled")
+	}
+	// Everything inserted before the failure must still be readable.
+	for k := uint64(1); k <= inserted; k += 97 {
+		if _, ok := tr.Find(k); !ok {
+			t.Fatalf("key %d lost after OOM", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

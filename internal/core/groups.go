@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+
+	"fptree/internal/scm"
+)
+
+// groupAlloc implements the amortized persistent allocations of Section 4.3
+// and Appendix B: leaves are carved out of persistently linked groups of
+// GroupSize leaves, and a volatile vector tracks the leaves that are free.
+//
+// Persistent state: the group linked list (head/tail in the tree metadata,
+// next pointer in each group header) plus the getLeaf and freeLeaf
+// micro-logs. Volatile state: the free-leaf vector and per-group usage
+// counters, both rebuilt during recovery by comparing group membership with
+// the leaf list.
+//
+// Group block layout: next PPtr | pad to one cache line | GroupSize × leaf.
+type groupAlloc struct {
+	pool     *scm.Pool
+	m        meta
+	leafSize uint64
+	size     int // leaves per group; 0 = groups disabled
+
+	free      []uint64          // offsets of free leaves, LIFO
+	used      map[uint64]int    // group offset -> number of in-tree leaves
+	leafGroup map[uint64]uint64 // leaf offset -> its group offset
+}
+
+func (g *groupAlloc) init(pool *scm.Pool, m meta, leafSize uint64, size int) {
+	g.pool, g.m, g.leafSize, g.size = pool, m, leafSize, size
+	if size > 0 {
+		g.used = make(map[uint64]int)
+		g.leafGroup = make(map[uint64]uint64)
+	}
+}
+
+func (g *groupAlloc) enabled() bool { return g.size > 0 }
+
+func (g *groupAlloc) groupBytes() uint64 {
+	return scm.LineSize + uint64(g.size)*g.leafSize
+}
+
+func (g *groupAlloc) leafOffsets(group uint64) []uint64 {
+	out := make([]uint64, g.size)
+	for i := range out {
+		out[i] = group + scm.LineSize + uint64(i)*g.leafSize
+	}
+	return out
+}
+
+func (g *groupAlloc) groupNext(group uint64) scm.PPtr { return g.pool.ReadPPtr(group) }
+
+func (g *groupAlloc) setGroupNext(group uint64, p scm.PPtr) {
+	g.pool.WritePPtr(group, p)
+	g.pool.Persist(group, scm.PPtrSize)
+}
+
+// getLeaf pops a free leaf, allocating and linking a new group when the
+// vector is empty (Algorithm 10). The group allocation is staged in the
+// getLeaf micro-log so a crash can neither leak the group nor link it twice.
+func (g *groupAlloc) getLeaf() (uint64, error) {
+	if len(g.free) == 0 {
+		log := g.m.getLeafLog()
+		ptr, err := g.pool.Alloc(log.aOff(), g.groupBytes())
+		if err != nil {
+			return 0, err
+		}
+		g.linkGroup(ptr)
+		log.reset()
+		g.used[ptr.Offset] = 0
+		for _, off := range g.leafOffsets(ptr.Offset) {
+			g.leafGroup[off] = ptr.Offset
+			g.free = append(g.free, off)
+		}
+	}
+	off := g.free[len(g.free)-1]
+	g.free = g.free[:len(g.free)-1]
+	g.used[g.leafGroup[off]]++
+	return off, nil
+}
+
+// linkGroup appends the group to the persistent group list.
+func (g *groupAlloc) linkGroup(ptr scm.PPtr) {
+	if g.m.headGroup().IsNull() {
+		g.m.setHeadGroup(ptr)
+		g.m.setTailGroup(ptr)
+		return
+	}
+	tail := g.m.tailGroup()
+	g.setGroupNext(tail.Offset, ptr)
+	g.m.setTailGroup(ptr)
+}
+
+// linkGroupReplay is the recovery version of linkGroup: the crash may have
+// hit between any two of its steps, so the true list tail is re-derived by
+// walking the list instead of trusting the tail pointer.
+func (g *groupAlloc) linkGroupReplay(ptr scm.PPtr) {
+	head := g.m.headGroup()
+	if head.IsNull() {
+		g.m.setHeadGroup(ptr)
+		g.m.setTailGroup(ptr)
+		return
+	}
+	p := head
+	for {
+		if p == ptr {
+			// Already linked; only the tail update may be missing.
+			break
+		}
+		next := g.groupNext(p.Offset)
+		if next.IsNull() {
+			g.setGroupNext(p.Offset, ptr)
+			break
+		}
+		p = next
+	}
+	g.m.setTailGroup(ptr)
+}
+
+// freeLeaf returns a leaf to the vector; when its whole group becomes free
+// the group is unlinked and deallocated (Algorithm 12).
+func (g *groupAlloc) freeLeaf(leaf uint64) {
+	group := g.leafGroup[leaf]
+	g.used[group]--
+	if g.used[group] > 0 || len(g.used) == 1 {
+		// Keep the last group even when empty: the next insert would
+		// otherwise re-allocate it immediately.
+		g.free = append(g.free, leaf)
+		return
+	}
+	// Drop the group's leaves from the volatile vector.
+	kept := g.free[:0]
+	for _, off := range g.free {
+		if g.leafGroup[off] != group {
+			kept = append(kept, off)
+		}
+	}
+	g.free = kept
+
+	log := g.m.freeLeafLog()
+	gp := scm.PPtr{ArenaID: g.pool.ID(), Offset: group}
+	log.setA(gp)
+	if g.m.headGroup() == gp {
+		g.m.setHeadGroup(g.groupNext(group))
+		if g.m.tailGroup() == gp {
+			g.m.setTailGroup(scm.PPtr{})
+		}
+	} else {
+		prev := g.prevGroup(group)
+		log.setB(prev)
+		g.setGroupNext(prev.Offset, g.groupNext(group))
+		if g.m.tailGroup() == gp {
+			g.m.setTailGroup(prev)
+		}
+	}
+	g.pool.Free(log.aOff(), g.groupBytes())
+	log.reset()
+
+	for _, off := range g.leafOffsets(group) {
+		delete(g.leafGroup, off)
+	}
+	delete(g.used, group)
+}
+
+// prevGroup walks the persistent list for the predecessor of group. Group
+// deallocations are rare (a whole group must empty), so the walk is fine.
+func (g *groupAlloc) prevGroup(group uint64) scm.PPtr {
+	p := g.m.headGroup()
+	for !p.IsNull() {
+		next := g.groupNext(p.Offset)
+		if next.Offset == group {
+			return p
+		}
+		p = next
+	}
+	panic(fmt.Sprintf("fptree: group %#x not in group list", group))
+}
+
+// recover replays the two group micro-logs (Algorithms 11 and 13). It uses
+// only persistent state; the volatile vector is rebuilt afterwards.
+func (g *groupAlloc) recover() {
+	if !g.enabled() {
+		return
+	}
+	// RecoverGetLeaf: the staged group is linked or discarded. A null log.a
+	// means the allocator already rolled the allocation back.
+	log := g.m.getLeafLog()
+	if a := log.a(); !a.IsNull() {
+		g.linkGroupReplay(a)
+		log.reset()
+	}
+	// RecoverFreeLeaf: finish unlinking and deallocating the group.
+	flog := g.m.freeLeafLog()
+	a, b := flog.a(), flog.b()
+	switch {
+	case a.IsNull():
+		if !b.IsNull() {
+			flog.reset()
+		}
+	case !b.IsNull():
+		// Crashed between the prev-link update and deallocation: redo.
+		g.setGroupNext(b.Offset, g.groupNext(a.Offset))
+		if g.m.tailGroup() == a {
+			g.m.setTailGroup(b)
+		}
+		g.pool.Free(flog.aOff(), g.groupBytes())
+		flog.reset()
+	case g.m.headGroup() == a:
+		// Crashed before the head pointer moved.
+		g.m.setHeadGroup(g.groupNext(a.Offset))
+		if g.m.tailGroup() == a {
+			g.m.setTailGroup(scm.PPtr{})
+		}
+		g.pool.Free(flog.aOff(), g.groupBytes())
+		flog.reset()
+	case g.groupNext(a.Offset) == g.m.headGroup():
+		// Head already moved; only the deallocation is missing.
+		if g.m.tailGroup() == a {
+			g.m.setTailGroup(scm.PPtr{})
+		}
+		g.pool.Free(flog.aOff(), g.groupBytes())
+		flog.reset()
+	default:
+		flog.reset()
+	}
+}
+
+// rebuildFreeVector reconstructs the volatile free vector and usage counters
+// after recovery: a leaf is free exactly when it belongs to a group but is
+// not linked in the tree's leaf list.
+func (g *groupAlloc) rebuildFreeVector(inTree []uint64) {
+	if !g.enabled() {
+		return
+	}
+	g.free = g.free[:0]
+	clear(g.used)
+	clear(g.leafGroup)
+	live := make(map[uint64]bool, len(inTree))
+	for _, off := range inTree {
+		live[off] = true
+	}
+	for p := g.m.headGroup(); !p.IsNull(); p = g.groupNext(p.Offset) {
+		g.used[p.Offset] = 0
+		for _, off := range g.leafOffsets(p.Offset) {
+			g.leafGroup[off] = p.Offset
+			if live[off] {
+				g.used[p.Offset]++
+			} else {
+				g.free = append(g.free, off)
+			}
+		}
+	}
+}
+
+// checkInvariants validates the volatile bookkeeping against the persistent
+// group list.
+func (g *groupAlloc) checkInvariants() error {
+	if !g.enabled() {
+		return nil
+	}
+	seen := 0
+	for p := g.m.headGroup(); !p.IsNull(); p = g.groupNext(p.Offset) {
+		seen++
+		if _, ok := g.used[p.Offset]; !ok {
+			return fmt.Errorf("group %#x in persistent list but not tracked", p.Offset)
+		}
+		if tail := g.m.tailGroup(); g.groupNext(p.Offset).IsNull() && p != tail {
+			return fmt.Errorf("tail pointer %v does not match last group %v", tail, p)
+		}
+	}
+	if seen != len(g.used) {
+		return fmt.Errorf("tracked %d groups, persistent list has %d", len(g.used), seen)
+	}
+	for _, off := range g.free {
+		if _, ok := g.leafGroup[off]; !ok {
+			return fmt.Errorf("free leaf %#x belongs to no tracked group", off)
+		}
+	}
+	return nil
+}

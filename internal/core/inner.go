@@ -1,0 +1,194 @@
+package core
+
+// DRAM-resident inner nodes of the single-threaded trees, generic over the
+// key type (uint64 for the fixed-size trees, []byte for the variable-size
+// trees). Inner nodes keep a classical sorted-array layout (Figure 2a); they
+// are transient, rebuilt from the leaf list on recovery, and need no
+// persistence effort — that is the point of Selective Persistence.
+//
+// Separators are "max key of the left subtree": child i covers keys k with
+// keys[i-1] < k <= keys[i], and the last child covers everything greater.
+
+type stInner[K any] struct {
+	keys   []K
+	kids   []*stInner[K] // non-nil when this node's children are inner nodes
+	leaves []uint64      // non-nil when this node is a leaf parent (SCM offsets)
+}
+
+func (n *stInner[K]) isLeafParent() bool { return n.leaves != nil }
+
+func (n *stInner[K]) width() int {
+	if n.isLeafParent() {
+		return len(n.leaves)
+	}
+	return len(n.kids)
+}
+
+// childIdx returns the index of the child that covers key k: the first
+// separator >= k, or the last child when k exceeds all separators.
+func (n *stInner[K]) childIdx(k K, less func(a, b K) bool) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if !less(n.keys[mid], k) { // keys[mid] >= k
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// insertAt splices separator k at position i and the new right-hand child at
+// position i+1.
+func (n *stInner[K]) insertAt(i int, k K, newKid *stInner[K], newLeaf uint64) {
+	var zero K
+	n.keys = append(n.keys, zero)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = k
+	if n.isLeafParent() {
+		n.leaves = append(n.leaves, 0)
+		copy(n.leaves[i+2:], n.leaves[i+1:])
+		n.leaves[i+1] = newLeaf
+	} else {
+		n.kids = append(n.kids, nil)
+		copy(n.kids[i+2:], n.kids[i+1:])
+		n.kids[i+1] = newKid
+	}
+}
+
+// removeAt removes child i and the separator that delimited it.
+func (n *stInner[K]) removeAt(i int) {
+	ki := i
+	if ki == len(n.keys) {
+		ki = len(n.keys) - 1
+	}
+	if ki >= 0 {
+		n.keys = append(n.keys[:ki], n.keys[ki+1:]...)
+	}
+	if n.isLeafParent() {
+		n.leaves = append(n.leaves[:i], n.leaves[i+1:]...)
+	} else {
+		n.kids = append(n.kids[:i], n.kids[i+1:]...)
+	}
+}
+
+// split divides an overflowing node in two, returning the promoted separator
+// and the new right sibling. The median separator moves up (it remains a
+// valid "max of left subtree" for the left half).
+func (n *stInner[K]) split() (K, *stInner[K]) {
+	mid := len(n.keys) / 2
+	up := n.keys[mid]
+	right := &stInner[K]{}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	if n.isLeafParent() {
+		right.leaves = append(right.leaves, n.leaves[mid+1:]...)
+		n.leaves = n.leaves[: mid+1 : mid+1]
+	} else {
+		right.kids = append(right.kids, n.kids[mid+1:]...)
+		n.kids = n.kids[: mid+1 : mid+1]
+	}
+	n.keys = n.keys[:mid:mid]
+	return up, right
+}
+
+// pathEntry records one step of a root-to-leaf descent.
+type pathEntry[K any] struct {
+	n   *stInner[K]
+	idx int
+}
+
+// insertChild inserts (sep, right) into the parent chain recorded in path,
+// splitting inner nodes upward as needed. level is the index in path of the
+// node receiving the insertion; a split at level 0 grows a new root, which is
+// returned (otherwise the current root is returned unchanged).
+func insertChild[K any](root *stInner[K], path []pathEntry[K], level int, sep K, newKid *stInner[K], newLeaf uint64, fanout int) *stInner[K] {
+	for {
+		n := path[level].n
+		i := path[level].idx
+		n.insertAt(i, sep, newKid, newLeaf)
+		if len(n.keys) <= fanout {
+			return root
+		}
+		up, right := n.split()
+		if level == 0 {
+			return &stInner[K]{keys: []K{up}, kids: []*stInner[K]{n, right}}
+		}
+		level--
+		sep, newKid, newLeaf = up, right, 0
+	}
+}
+
+// removeLeaf removes the leaf at path's bottom entry, pruning emptied inner
+// nodes upward. It returns the new root (nil when the tree became empty).
+func removeLeaf[K any](root *stInner[K], path []pathEntry[K]) *stInner[K] {
+	for level := len(path) - 1; level >= 0; level-- {
+		n := path[level].n
+		n.removeAt(path[level].idx)
+		if n.width() > 0 {
+			break
+		}
+		if level == 0 {
+			return nil
+		}
+	}
+	// Collapse a root with a single inner child to keep the height minimal.
+	for root != nil && !root.isLeafParent() && len(root.kids) == 1 {
+		root = root.kids[0]
+	}
+	return root
+}
+
+// buildInnerNodes bulk-builds the DRAM part from the ordered leaf list, as
+// recovery and bulk load do (Algorithm 9, RebuildInnerNodes). maxKeys[i] is
+// the greatest key in leaves[i] and becomes the separator to its right
+// sibling. Nodes are packed to the full fanout: recovery produces the most
+// compact transient part possible.
+func buildInnerNodes[K any](leaves []uint64, maxKeys []K, fanout int) *stInner[K] {
+	if len(leaves) == 0 {
+		return nil
+	}
+	width := fanout + 1
+	var level []*stInner[K]
+	var seps []K
+	for at := 0; at < len(leaves); at += width {
+		end := at + width
+		if end > len(leaves) {
+			end = len(leaves)
+		}
+		n := &stInner[K]{
+			leaves: append([]uint64(nil), leaves[at:end]...),
+			keys:   append([]K(nil), maxKeys[at:end-1]...),
+		}
+		level = append(level, n)
+		if end < len(leaves) {
+			seps = append(seps, maxKeys[end-1])
+		}
+	}
+	for len(level) > 1 {
+		var next []*stInner[K]
+		var nextSeps []K
+		for at := 0; at < len(level); at += width {
+			end := at + width
+			if end > len(level) {
+				end = len(level)
+			}
+			n := &stInner[K]{
+				kids: append([]*stInner[K](nil), level[at:end]...),
+				keys: append([]K(nil), seps[at:end-1]...),
+			}
+			next = append(next, n)
+			if end < len(level) {
+				nextSeps = append(nextSeps, seps[end-1])
+			}
+		}
+		level, seps = next, nextSeps
+	}
+	return level[0]
+}
+
+// lessU64 orders fixed-size keys.
+func lessU64(a, b uint64) bool { return a < b }
+
+// lessBytes orders variable-size keys lexicographically.
+func lessBytes(a, b []byte) bool { return string(a) < string(b) }

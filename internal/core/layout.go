@@ -1,0 +1,245 @@
+// Package core implements the Fingerprinting Persistent Tree (FPTree) of
+// Oukid et al., SIGMOD 2016: a hybrid SCM-DRAM B+-Tree whose leaf nodes live
+// in (emulated) SCM and whose inner nodes live in DRAM and are rebuilt on
+// recovery. The package contains the four variants evaluated in the paper:
+// the single-threaded fixed-key FPTree (with amortized leaf-group
+// allocations), the concurrent fixed-key FPTree (Selective Concurrency), and
+// the variable-size-key versions of both.
+//
+// All persistent state is kept inside an scm.Pool and accessed through
+// explicit offset codecs, so layouts are exactly the paper's and the Go
+// garbage collector never touches SCM-resident data.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fptree/internal/scm"
+)
+
+// MaxLeafCap is the largest number of entries per leaf. The in-leaf bitmap is
+// a single 8-byte word so that validity updates are p-atomic, which caps the
+// capacity at 64.
+const MaxLeafCap = 64
+
+// Errors shared by all tree variants.
+var (
+	ErrClosed     = errors.New("fptree: tree is closed")
+	ErrKeyTooLong = errors.New("fptree: key exceeds configured maximum")
+)
+
+// Variant selects between the paper's single-threaded persistent trees that
+// share this package's leaf machinery.
+type Variant int
+
+const (
+	// VariantFPTree is the full design: fingerprints + interleaved KV slots.
+	VariantFPTree Variant = iota
+	// VariantPTree is the light version (Section 5, variant 3): selective
+	// persistence and unsorted leaves only — no fingerprints, and keys and
+	// values in separate arrays for better locality during the linear key
+	// scan.
+	VariantPTree
+)
+
+// Config carries the tunables Table 1 of the paper sweeps.
+type Config struct {
+	// Variant selects FPTree (default) or the fingerprint-less PTree.
+	Variant Variant
+	// LeafCap is the number of entries per leaf (m). Must be in [2,64].
+	LeafCap int
+	// InnerFanout is the maximum number of keys per DRAM inner node.
+	InnerFanout int
+	// GroupSize enables amortized persistent allocations: leaves are carved
+	// out of groups of GroupSize leaves (Section 4.3). 0 disables groups
+	// (the concurrent variant never uses them).
+	GroupSize int
+	// ValueSize is the inline payload size in bytes for variable-size-key
+	// trees (Appendix A's payload sweep). Fixed-key trees always store
+	// 8-byte values. 0 means 8.
+	ValueSize int
+	// NumLogs is the number of split and delete micro-logs pre-allocated for
+	// the concurrent variants. 0 means DefaultNumLogs.
+	NumLogs int
+}
+
+// DefaultNumLogs bounds the number of in-flight structure modifications in
+// the concurrent tree variants.
+const DefaultNumLogs = 64
+
+func (c *Config) normalize() error {
+	if c.LeafCap == 0 {
+		c.LeafCap = 56
+	}
+	if c.LeafCap < 2 || c.LeafCap > MaxLeafCap {
+		return fmt.Errorf("fptree: leaf capacity %d out of range [2,%d]", c.LeafCap, MaxLeafCap)
+	}
+	if c.InnerFanout == 0 {
+		c.InnerFanout = 4096
+	}
+	if c.InnerFanout < 2 {
+		return fmt.Errorf("fptree: inner fanout %d too small", c.InnerFanout)
+	}
+	if c.GroupSize < 0 {
+		return fmt.Errorf("fptree: negative group size")
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 8
+	}
+	if c.ValueSize < 1 || c.ValueSize > 4096 {
+		return fmt.Errorf("fptree: value size %d out of range [1,4096]", c.ValueSize)
+	}
+	if c.NumLogs == 0 {
+		c.NumLogs = DefaultNumLogs
+	}
+	return nil
+}
+
+// fixedLayout describes the SCM layout of a fixed-size-key leaf.
+//
+// FPTree variant (fingerprints, interleaved slots):
+//
+//	fingerprints[m] | bitmap u64 | lock u8 | pad | next PPtr | m × (key u64, value u64)
+//
+// With m = 56 the fingerprint array plus the bitmap fill exactly the first
+// cache line, so a Find touches one line for the filter and one line for the
+// matching key-value — the paper's "two SCM cache misses per lookup".
+//
+// PTree variant (no fingerprints, separate arrays):
+//
+//	bitmap u64 | lock u8 | pad | next PPtr | keys[m] u64 | values[m] u64
+type fixedLayout struct {
+	cap       int
+	hasFP     bool
+	offBitmap uint64
+	offLock   uint64
+	offNext   uint64
+	offKV     uint64 // interleaved slots (FPTree) or key array (PTree)
+	offVals   uint64 // value array (PTree only)
+	size      uint64
+}
+
+func newFixedLayout(leafCap int) fixedLayout {
+	return newFixedLayoutV(leafCap, VariantFPTree)
+}
+
+func newFixedLayoutV(leafCap int, v Variant) fixedLayout {
+	l := fixedLayout{cap: leafCap, hasFP: v == VariantFPTree}
+	if l.hasFP {
+		l.offBitmap = uint64((leafCap + 7) / 8 * 8)
+	}
+	l.offLock = l.offBitmap + 8
+	l.offNext = l.offLock + 8 // keep the PPtr 8-aligned
+	l.offKV = l.offNext + scm.PPtrSize
+	if l.hasFP {
+		l.size = l.offKV + uint64(leafCap)*16
+	} else {
+		l.offVals = l.offKV + uint64(leafCap)*8
+		l.size = l.offVals + uint64(leafCap)*8
+	}
+	l.size = (l.size + scm.LineSize - 1) / scm.LineSize * scm.LineSize
+	return l
+}
+
+func (l fixedLayout) keyOff(leaf uint64, slot int) uint64 {
+	if l.hasFP {
+		return leaf + l.offKV + uint64(slot)*16
+	}
+	return leaf + l.offKV + uint64(slot)*8
+}
+
+func (l fixedLayout) valOff(leaf uint64, slot int) uint64 {
+	if l.hasFP {
+		return leaf + l.offKV + uint64(slot)*16 + 8
+	}
+	return leaf + l.offVals + uint64(slot)*8
+}
+
+// varLayout describes a variable-size-key leaf. Each slot stores a persistent
+// pointer to the key (allocated separately, as in Appendix C), the key
+// length, and an inline value of ValueSize bytes:
+//
+//	fingerprints[m] | bitmap u64 | lock u8 | pad | next PPtr |
+//	m × (pkey PPtr, klen u64, value [ValueSize]byte)
+type varLayout struct {
+	cap       int
+	valSize   int
+	hasFP     bool
+	slotSize  uint64
+	offBitmap uint64
+	offLock   uint64
+	offNext   uint64
+	offKV     uint64
+	size      uint64
+}
+
+func newVarLayout(leafCap, valueSize int) varLayout {
+	return newVarLayoutV(leafCap, valueSize, VariantFPTree)
+}
+
+func newVarLayoutV(leafCap, valueSize int, v Variant) varLayout {
+	l := varLayout{cap: leafCap, valSize: valueSize, hasFP: v == VariantFPTree}
+	l.slotSize = scm.PPtrSize + 8 + uint64((valueSize+7)/8*8)
+	if l.hasFP {
+		l.offBitmap = uint64((leafCap + 7) / 8 * 8)
+	}
+	l.offLock = l.offBitmap + 8
+	l.offNext = l.offLock + 8
+	l.offKV = l.offNext + scm.PPtrSize
+	l.size = (l.offKV + uint64(leafCap)*l.slotSize + scm.LineSize - 1) / scm.LineSize * scm.LineSize
+	return l
+}
+
+func (l varLayout) slotOff(leaf uint64, slot int) uint64 {
+	return leaf + l.offKV + uint64(slot)*l.slotSize
+}
+
+func (l varLayout) pkeyOff(leaf uint64, slot int) uint64 { return l.slotOff(leaf, slot) }
+
+func (l varLayout) klenOff(leaf uint64, slot int) uint64 {
+	return l.slotOff(leaf, slot) + scm.PPtrSize
+}
+
+func (l varLayout) valOff(leaf uint64, slot int) uint64 {
+	return l.slotOff(leaf, slot) + scm.PPtrSize + 8
+}
+
+// hash1 produces the one-byte fingerprint of a fixed-size key. Fibonacci
+// hashing spreads uniform and sequential key spaces evenly over the 256
+// fingerprint values.
+func hash1(key uint64) byte {
+	return byte((key * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// hash1Bytes produces the one-byte fingerprint of a variable-size key
+// (FNV-1a, folded to one byte).
+func hash1Bytes(key []byte) byte {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return byte(h ^ h>>8 ^ h>>16 ^ h>>24)
+}
+
+// ProbeStats counts in-leaf search work for the Figure 4 reproduction: how
+// many candidate keys a successful lookup actually had to compare after the
+// fingerprint filter.
+type ProbeStats struct {
+	Searches  uint64 // completed leaf searches
+	KeyProbes uint64 // keys dereferenced and compared
+	FPScans   uint64 // fingerprint bytes inspected
+}
+
+// AvgProbes returns the measured expected number of in-leaf key probes.
+func (s ProbeStats) AvgProbes() float64 {
+	if s.Searches == 0 {
+		return 0
+	}
+	return float64(s.KeyProbes) / float64(s.Searches)
+}

@@ -1,0 +1,229 @@
+// Package htm emulates the Hardware Transactional Memory semantics the
+// FPTree's Selective Concurrency scheme obtains from Intel TSX.
+//
+// Go cannot issue XBEGIN/XEND, so the package provides the established
+// software equivalent: optimistic version-locks (optimistic lock coupling).
+// A VersionLock gives readers invisible, abort-and-retry access to a node —
+// exactly what a TSX transaction gives at cache-line granularity — and gives
+// writers exclusive access that invalidates concurrent readers. Conflicts are
+// detected at node granularity instead of cache-line granularity, which is
+// coarser but preserves the scheme's structure: the transient part of the
+// tree is traversed optimistically, persistent-leaf changes happen under
+// fine-grained leaf locks outside the optimistic region, and a reader that
+// observes a concurrent change aborts and retries, falling back as needed.
+//
+// Stats mirror the abort/retry/fallback counters one would read from TSX
+// performance events.
+package htm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// VersionLock is a word combining a lock bit with a version counter, the core
+// of optimistic lock coupling. Readers snapshot the version, do their reads,
+// and validate; writers take the lock bit and bump the version on release so
+// every overlapping reader fails validation — the software analogue of a TSX
+// conflict abort.
+type VersionLock struct {
+	w atomic.Uint64
+}
+
+// ReadBegin waits until the lock is free and returns the version snapshot to
+// validate against. It is the XBEGIN analogue for one node.
+func (v *VersionLock) ReadBegin() uint64 {
+	for {
+		w := v.w.Load()
+		if w&1 == 0 {
+			return w
+		}
+		runtime.Gosched()
+	}
+}
+
+// ReadValidate reports whether the node is still unchanged since ReadBegin
+// returned ver. A false result is the XABORT analogue: the reader must
+// restart.
+func (v *VersionLock) ReadValidate(ver uint64) bool {
+	return v.w.Load() == ver
+}
+
+// TryUpgrade atomically converts a validated read snapshot into exclusive
+// ownership. It fails if any writer intervened since ReadBegin.
+func (v *VersionLock) TryUpgrade(ver uint64) bool {
+	return v.w.CompareAndSwap(ver, ver|1)
+}
+
+// Lock spins until it holds the node exclusively.
+func (v *VersionLock) Lock() {
+	for {
+		w := v.w.Load()
+		if w&1 == 0 && v.w.CompareAndSwap(w, w|1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryLock attempts to take the node exclusively without spinning.
+func (v *VersionLock) TryLock() bool {
+	w := v.w.Load()
+	return w&1 == 0 && v.w.CompareAndSwap(w, w|1)
+}
+
+// Unlock releases exclusive ownership and bumps the version, aborting every
+// reader that overlapped the write.
+func (v *VersionLock) Unlock() {
+	v.w.Add(1) // 1 (lock bit) -> +1 wraps it into the version field: v|1 + 1 = (ver+1)<<1... see test
+}
+
+// UnlockNoBump releases exclusive ownership without invalidating readers.
+// Use it when the critical section turned out to make no changes.
+func (v *VersionLock) UnlockNoBump() {
+	v.w.Add(^uint64(0)) // subtract the lock bit
+}
+
+// IsLocked reports whether a writer currently owns the node.
+func (v *VersionLock) IsLocked() bool { return v.w.Load()&1 == 1 }
+
+// Stats counts emulated-HTM events.
+type Stats struct {
+	Aborts    atomic.Uint64 // validation failures (conflict aborts)
+	Restarts  atomic.Uint64 // full operation restarts
+	Fallbacks atomic.Uint64 // times the global fallback lock was taken
+}
+
+// SpecMutex emulates the TBB speculative spin mutex the paper uses as the
+// TSX fallback mechanism: a critical section first runs optimistically
+// (signalled by Speculate returning true) and resorts to a real global lock
+// after MaxRetries aborts. The tree's concurrent operations consult it to
+// decide between the optimistic path and the serialized path.
+type SpecMutex struct {
+	// MaxRetries is the abort budget before falling back to the global lock.
+	// Zero means DefaultMaxRetries.
+	MaxRetries int
+	Stats      Stats
+
+	mu     sync.Mutex
+	serial atomic.Bool // true while a fallback holder is inside
+}
+
+// DefaultMaxRetries matches the common TSX retry budget.
+const DefaultMaxRetries = 8
+
+// Guard is the per-attempt state of a speculative critical section.
+type Guard struct {
+	m        *SpecMutex
+	attempts int
+	fallback bool
+}
+
+// Acquire starts a speculative critical section. While another goroutine
+// holds the fallback lock, optimistic execution is not allowed (the lock is
+// in the transaction's read set, as in real TSX lock elision), so Acquire
+// waits for it.
+func (m *SpecMutex) Acquire() *Guard {
+	g := &Guard{m: m}
+	g.begin()
+	return g
+}
+
+func (g *Guard) begin() {
+	if g.attempts > g.m.maxRetries() {
+		g.m.mu.Lock()
+		g.m.serial.Store(true)
+		g.fallback = true
+		g.m.Stats.Fallbacks.Add(1)
+		return
+	}
+	// Optimistic attempt: wait until no fallback holder is inside.
+	for g.m.serial.Load() {
+		runtime.Gosched()
+	}
+}
+
+// Abort records a conflict and prepares the next attempt; the caller must
+// restart its critical section from the top.
+func (g *Guard) Abort() {
+	g.m.Stats.Aborts.Add(1)
+	g.m.Stats.Restarts.Add(1)
+	if g.fallback {
+		g.m.serial.Store(false)
+		g.m.mu.Unlock()
+		g.fallback = false
+	}
+	g.attempts++
+	g.begin()
+}
+
+// Release commits the critical section.
+func (g *Guard) Release() {
+	if g.fallback {
+		g.m.serial.Store(false)
+		g.m.mu.Unlock()
+		g.fallback = false
+	}
+}
+
+// Serialized reports whether this attempt runs under the global fallback
+// lock. Sections running serialized cannot conflict and may skip validation.
+func (g *Guard) Serialized() bool { return g.fallback }
+
+func (m *SpecMutex) maxRetries() int {
+	if m.MaxRetries > 0 {
+		return m.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// RWSpin is a tiny reader-writer spinlock used as the volatile per-leaf lock.
+// The paper writes leaf locks inside TSX transactions with plain stores; in
+// the emulation the equivalent is an atomic word. Leaf locks are never
+// persisted and are reset during recovery.
+type RWSpin struct {
+	w atomic.Int32
+}
+
+const rwWriter = -1 << 20
+
+// TryRLock attempts to add a reader; it fails while a writer is inside.
+func (l *RWSpin) TryRLock() bool {
+	for {
+		w := l.w.Load()
+		if w < 0 {
+			return false
+		}
+		if l.w.CompareAndSwap(w, w+1) {
+			return true
+		}
+	}
+}
+
+// RUnlock removes a reader.
+func (l *RWSpin) RUnlock() { l.w.Add(-1) }
+
+// TryLock attempts to take the write lock; it fails while any reader or
+// writer is inside.
+func (l *RWSpin) TryLock() bool {
+	return l.w.CompareAndSwap(0, rwWriter)
+}
+
+// Lock spins until it holds the write lock.
+func (l *RWSpin) Lock() {
+	for !l.TryLock() {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the write lock.
+func (l *RWSpin) Unlock() { l.w.Store(0) }
+
+// Locked reports whether a writer holds the lock (the "Leaf.lock == 1" test
+// in the paper's pseudo-code).
+func (l *RWSpin) Locked() bool { return l.w.Load() < 0 }
+
+// Reset forces the lock to the released state; recovery uses it because
+// volatile locks must not survive a crash.
+func (l *RWSpin) Reset() { l.w.Store(0) }

@@ -1,0 +1,244 @@
+package htm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestVersionLockReadValidate(t *testing.T) {
+	var v VersionLock
+	ver := v.ReadBegin()
+	if !v.ReadValidate(ver) {
+		t.Fatal("validation should pass with no writer")
+	}
+	v.Lock()
+	if v.ReadValidate(ver) {
+		t.Fatal("validation should fail while locked")
+	}
+	v.Unlock()
+	if v.ReadValidate(ver) {
+		t.Fatal("validation should fail after a write")
+	}
+	ver2 := v.ReadBegin()
+	if ver2 == ver {
+		t.Fatal("version should have advanced")
+	}
+}
+
+func TestVersionLockUnlockNoBump(t *testing.T) {
+	var v VersionLock
+	ver := v.ReadBegin()
+	v.Lock()
+	v.UnlockNoBump()
+	if !v.ReadValidate(ver) {
+		t.Fatal("no-bump unlock must keep readers valid")
+	}
+}
+
+func TestVersionLockTryUpgrade(t *testing.T) {
+	var v VersionLock
+	ver := v.ReadBegin()
+	if !v.TryUpgrade(ver) {
+		t.Fatal("upgrade should succeed with no interference")
+	}
+	if !v.IsLocked() {
+		t.Fatal("upgrade should hold the lock")
+	}
+	v.Unlock()
+	if v.TryUpgrade(ver) {
+		t.Fatal("stale upgrade should fail")
+	}
+}
+
+func TestVersionLockTryLock(t *testing.T) {
+	var v VersionLock
+	if !v.TryLock() {
+		t.Fatal("TryLock on free lock")
+	}
+	if v.TryLock() {
+		t.Fatal("TryLock on held lock")
+	}
+	v.Unlock()
+	if !v.TryLock() {
+		t.Fatal("TryLock after unlock")
+	}
+	v.Unlock()
+}
+
+func TestVersionLockConcurrentCounter(t *testing.T) {
+	// A counter guarded by the version lock must not lose increments, and
+	// optimistic readers must never observe a torn intermediate state.
+	var v VersionLock
+	var a, b atomic.Uint64 // invariant under the lock: a == b
+	const (
+		writers = 4
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v.Lock()
+				a.Add(1)
+				b.Add(1)
+				v.Unlock()
+			}
+		}()
+	}
+	var torn atomic.Uint64
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ver := v.ReadBegin()
+				x, y := a.Load(), b.Load()
+				if v.ReadValidate(ver) && x != y {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if a.Load() != writers*perW || b.Load() != a.Load() {
+		t.Fatalf("lost increments: a=%d b=%d", a.Load(), b.Load())
+	}
+	if torn.Load() != 0 {
+		t.Fatalf("%d validated torn reads", torn.Load())
+	}
+}
+
+func TestSpecMutexFallbackAfterRetries(t *testing.T) {
+	m := &SpecMutex{MaxRetries: 3}
+	g := m.Acquire()
+	for i := 0; i < 4; i++ {
+		if g.Serialized() {
+			t.Fatalf("serialized too early at attempt %d", i)
+		}
+		g.Abort()
+	}
+	if !g.Serialized() {
+		t.Fatal("should be serialized after exhausting retries")
+	}
+	if m.Stats.Fallbacks.Load() != 1 {
+		t.Fatalf("fallbacks = %d", m.Stats.Fallbacks.Load())
+	}
+	if m.Stats.Aborts.Load() != 4 {
+		t.Fatalf("aborts = %d", m.Stats.Aborts.Load())
+	}
+	g.Release()
+	// The mutex must be reusable afterwards.
+	g2 := m.Acquire()
+	g2.Release()
+}
+
+func TestSpecMutexSerializedExcludesOptimists(t *testing.T) {
+	m := &SpecMutex{MaxRetries: 0}
+	g := m.Acquire()
+	for !g.Serialized() {
+		g.Abort()
+	}
+	done := make(chan struct{})
+	go func() {
+		g2 := m.Acquire() // must wait for the fallback holder
+		g2.Release()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("optimistic acquire did not wait for fallback holder")
+	default:
+	}
+	g.Release()
+	<-done
+}
+
+func TestSpecMutexAbortWhileSerializedReleasesLock(t *testing.T) {
+	m := &SpecMutex{MaxRetries: 1}
+	g := m.Acquire()
+	g.Abort()
+	g.Abort() // now serialized
+	if !g.Serialized() {
+		t.Fatal("expected serialized")
+	}
+	g.Abort() // aborting a serialized section must release and re-enter
+	if !g.Serialized() {
+		t.Fatal("re-entry should serialize again (attempts keep the budget spent)")
+	}
+	g.Release()
+}
+
+func TestRWSpinReadersExcludeWriter(t *testing.T) {
+	var l RWSpin
+	if !l.TryRLock() {
+		t.Fatal("reader should enter free lock")
+	}
+	if l.TryLock() {
+		t.Fatal("writer should not enter with a reader inside")
+	}
+	if !l.TryRLock() {
+		t.Fatal("second reader should enter")
+	}
+	l.RUnlock()
+	l.RUnlock()
+	if !l.TryLock() {
+		t.Fatal("writer should enter after readers leave")
+	}
+	if l.TryRLock() {
+		t.Fatal("reader should not enter with writer inside")
+	}
+	if !l.Locked() {
+		t.Fatal("Locked() should report the writer")
+	}
+	l.Unlock()
+	if l.Locked() {
+		t.Fatal("Locked() after Unlock")
+	}
+}
+
+func TestRWSpinReset(t *testing.T) {
+	var l RWSpin
+	l.Lock()
+	l.Reset()
+	if !l.TryLock() {
+		t.Fatal("Reset should force-release")
+	}
+	l.Unlock()
+}
+
+func TestRWSpinConcurrentMutualExclusion(t *testing.T) {
+	var l RWSpin
+	var inside atomic.Int32
+	var violations atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Lock()
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				inside.Add(-1)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+}

@@ -1,0 +1,277 @@
+// Package kvserver is the memcached integration of Section 6.4: a TCP
+// key-value cache speaking a subset of the memcached text protocol (get/set),
+// whose internal hash table is replaced by the persistent trees under test.
+// As in the paper, full string keys are stored in the tree (not their
+// hashes), and the concurrent trees service requests in parallel while the
+// single-threaded trees serialize behind a global lock.
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fptree/internal/core"
+	"fptree/internal/nvtree"
+	"fptree/internal/scm"
+)
+
+// Store is the pluggable storage engine behind the server.
+type Store interface {
+	Set(key, value []byte) error
+	Get(key []byte) ([]byte, bool)
+	Name() string
+}
+
+// MaxValueSize bounds stored values (they are stored inline in the trees'
+// fixed-size value slots with a 2-byte length prefix).
+const MaxValueSize = 120
+
+const slotSize = MaxValueSize + 2
+
+func encodeVal(v []byte) []byte {
+	buf := make([]byte, slotSize)
+	buf[0] = byte(len(v))
+	buf[1] = byte(len(v) >> 8)
+	copy(buf[2:], v)
+	return buf
+}
+
+func decodeVal(buf []byte) []byte {
+	if len(buf) < 2 {
+		return nil
+	}
+	n := int(buf[0]) | int(buf[1])<<8
+	if n > len(buf)-2 {
+		n = len(buf) - 2
+	}
+	return buf[2 : 2+n]
+}
+
+// --- stores -----------------------------------------------------------------
+
+// NewFPTreeCStore backs the cache with the concurrent FPTree.
+func NewFPTreeCStore(pool *scm.Pool) (Store, error) {
+	t, err := core.CCreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 64, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return cvarStore{t}, nil
+}
+
+type cvarStore struct{ t *core.CVarTree }
+
+func (s cvarStore) Set(k, v []byte) error { return s.t.Upsert(k, encodeVal(v)) }
+func (s cvarStore) Get(k []byte) ([]byte, bool) {
+	v, ok := s.t.Find(k)
+	if !ok {
+		return nil, false
+	}
+	return decodeVal(v), true
+}
+func (s cvarStore) Name() string { return "FPTreeC" }
+
+// NewFPTreeStore backs the cache with the single-threaded FPTree behind a
+// global lock (the paper's non-concurrent configuration).
+func NewFPTreeStore(pool *scm.Pool) (Store, error) {
+	t, err := core.CreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 2048, GroupSize: 8, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return &lockedVarStore{t: t, name: "FPTree"}, nil
+}
+
+// NewPTreeStore backs the cache with the single-threaded PTree.
+func NewPTreeStore(pool *scm.Pool) (Store, error) {
+	t, err := core.CreateVar(pool, core.Config{Variant: core.VariantPTree, LeafCap: 32, InnerFanout: 256, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return &lockedVarStore{t: t, name: "PTree"}, nil
+}
+
+type lockedVarStore struct {
+	mu   sync.Mutex
+	t    *core.VarTree
+	name string
+}
+
+func (s *lockedVarStore) Set(k, v []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Upsert(k, encodeVal(v))
+}
+
+func (s *lockedVarStore) Get(k []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.t.Find(k)
+	if !ok {
+		return nil, false
+	}
+	return decodeVal(v), true
+}
+
+func (s *lockedVarStore) Name() string { return s.name }
+
+// NewNVTreeCStore backs the cache with the concurrent NV-Tree.
+func NewNVTreeCStore(pool *scm.Pool) (Store, error) {
+	t, err := nvtree.CNewVar(pool, nvtree.Config{LeafCap: 32, InnerCap: 128, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return nvStore{t}, nil
+}
+
+type nvStore struct{ t *nvtree.CVarTree }
+
+func (s nvStore) Set(k, v []byte) error { return s.t.Upsert(k, encodeVal(v)) }
+func (s nvStore) Get(k []byte) ([]byte, bool) {
+	v, ok := s.t.Find(k)
+	if !ok {
+		return nil, false
+	}
+	return decodeVal(v), true
+}
+func (s nvStore) Name() string { return "NV-TreeC" }
+
+// NewHashMapStore is vanilla memcached's transient hash table.
+func NewHashMapStore() Store {
+	return &mapStore{m: map[string][]byte{}}
+}
+
+type mapStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+func (s *mapStore) Set(k, v []byte) error {
+	s.mu.Lock()
+	s.m[string(k)] = append([]byte(nil), v...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *mapStore) Get(k []byte) ([]byte, bool) {
+	s.mu.RLock()
+	v, ok := s.m[string(k)]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (s *mapStore) Name() string { return "HashMap" }
+
+// --- server -------------------------------------------------------------------
+
+// Server is a minimal memcached-protocol server.
+type Server struct {
+	store Store
+	ln    net.Listener
+	wg    sync.WaitGroup
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the bound
+// address.
+func Serve(addr string, store Store) (*Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	s := &Server{store: store, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "set":
+			// set <key> <flags> <exptime> <bytes>
+			if len(fields) < 5 {
+				fmt.Fprintf(w, "CLIENT_ERROR bad command\r\n")
+				w.Flush()
+				continue
+			}
+			n, err := strconv.Atoi(fields[4])
+			if err != nil || n < 0 || n > MaxValueSize {
+				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
+				w.Flush()
+				continue
+			}
+			data := make([]byte, n+2) // payload + trailing \r\n
+			if _, err := readFull(r, data); err != nil {
+				return
+			}
+			if err := s.store.Set([]byte(fields[1]), data[:n]); err != nil {
+				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+			} else {
+				fmt.Fprintf(w, "STORED\r\n")
+			}
+			w.Flush()
+		case "get":
+			for _, key := range fields[1:] {
+				if v, ok := s.store.Get([]byte(key)); ok {
+					fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
+					w.Write(v)
+					w.WriteString("\r\n")
+				}
+			}
+			fmt.Fprintf(w, "END\r\n")
+			w.Flush()
+		case "quit":
+			return
+		default:
+			fmt.Fprintf(w, "ERROR\r\n")
+			w.Flush()
+		}
+	}
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,174 @@
+package kvserver
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"fptree/internal/scm"
+)
+
+func pool() *scm.Pool { return scm.NewPool(128<<20, scm.LatencyConfig{}) }
+
+func allStores(t *testing.T) []Store {
+	t.Helper()
+	fpc, err := NewFPTreeCStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewFPTreeStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewPTreeStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := NewNVTreeCStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Store{fpc, fp, pt, nv, NewHashMapStore()}
+}
+
+func TestStoresSetGet(t *testing.T) {
+	for _, s := range allStores(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("key-%05d", i))
+				v := []byte(strings.Repeat("x", i%100))
+				if err := s.Set(k, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("key-%05d", i))
+				v, ok := s.Get(k)
+				if !ok || len(v) != i%100 {
+					t.Fatalf("get(%s) = %d bytes, %v", k, len(v), ok)
+				}
+			}
+			if _, ok := s.Get([]byte("absent")); ok {
+				t.Fatal("found absent key")
+			}
+			// Overwrite.
+			if err := s.Set([]byte("key-00001"), []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := s.Get([]byte("key-00001")); string(v) != "new" {
+				t.Fatalf("overwrite failed: %q", v)
+			}
+		})
+	}
+}
+
+func TestServerProtocol(t *testing.T) {
+	store, err := NewFPTreeCStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := dialMC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+
+	if err := c.set("hello", "world"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := c.get("hello")
+	if err != nil || !ok || v != "world" {
+		t.Fatalf("get = %q,%v,%v", v, ok, err)
+	}
+	if _, ok, err := c.get("absent"); err != nil || ok {
+		t.Fatalf("absent get = %v,%v", ok, err)
+	}
+	// Empty value round-trip.
+	if err := c.set("empty", ""); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := c.get("empty"); !ok || v != "" {
+		t.Fatalf("empty = %q,%v", v, ok)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	store, err := NewFPTreeCStore(pool())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, addr, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := dialMC(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.close()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("c%d-%d", w, i)
+				if err := c.set(k, k); err != nil {
+					t.Error(err)
+					return
+				}
+				v, ok, err := c.get(k)
+				if err != nil || !ok || v != k {
+					t.Errorf("get(%s) = %q,%v,%v", k, v, ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMCBenchmarkRuns(t *testing.T) {
+	store := NewHashMapStore()
+	srv, addr, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := RunMCBenchmark(addr, 4, 400, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetOps <= 0 || res.GetOps <= 0 {
+		t.Fatalf("rates = %v", res)
+	}
+}
+
+func TestValueTooLargeRejected(t *testing.T) {
+	store := NewHashMapStore()
+	srv, addr, err := Serve("127.0.0.1:0", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := dialMC(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.close()
+	if err := c.set("big", strings.Repeat("x", MaxValueSize+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package kvserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BenchResult reports one mc-benchmark phase.
+type BenchResult struct {
+	Store  string
+	SetOps float64 // SET requests per second
+	GetOps float64 // GET requests per second
+}
+
+// RunMCBenchmark is the in-process equivalent of the paper's mc-benchmark:
+// clients connections issue ops SET requests (round-robin over the
+// connections) followed by ops GET requests, against a server at addr.
+func RunMCBenchmark(addr string, clients, ops, valueSize int) (BenchResult, error) {
+	conns := make([]*mcConn, clients)
+	for i := range conns {
+		c, err := dialMC(addr)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		conns[i] = c
+		defer c.close()
+	}
+	val := strings.Repeat("v", valueSize)
+
+	phase := func(op func(c *mcConn, i int) error) (float64, error) {
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		per := ops / clients
+		start := time.Now()
+		for ci, c := range conns {
+			wg.Add(1)
+			go func(c *mcConn, ci int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := op(c, ci*per+i); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(c, ci)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return float64(per*clients) / time.Since(start).Seconds(), nil
+	}
+
+	setRate, err := phase(func(c *mcConn, i int) error {
+		return c.set(fmt.Sprintf("memtier-%08d", i), val)
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	getRate, err := phase(func(c *mcConn, i int) error {
+		_, _, err := c.get(fmt.Sprintf("memtier-%08d", i))
+		return err
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{SetOps: setRate, GetOps: getRate}, nil
+}
+
+// mcConn is a tiny memcached text-protocol client.
+type mcConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dialMC(addr string) (*mcConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &mcConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+func (c *mcConn) close() { c.conn.Close() }
+
+func (c *mcConn) set(key, value string) error {
+	fmt.Fprintf(c.w, "set %s 0 0 %d\r\n%s\r\n", key, len(value), value)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "STORED") {
+		return fmt.Errorf("set %s: %q", key, line)
+	}
+	return nil
+}
+
+func (c *mcConn) get(key string) (string, bool, error) {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return "", false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", false, err
+	}
+	if strings.HasPrefix(line, "END") {
+		return "", false, nil
+	}
+	if !strings.HasPrefix(line, "VALUE ") {
+		return "", false, fmt.Errorf("get %s: %q", key, line)
+	}
+	var k string
+	var flags, n int
+	if _, err := fmt.Sscanf(line, "VALUE %s %d %d", &k, &flags, &n); err != nil {
+		return "", false, err
+	}
+	data := make([]byte, n+2)
+	if _, err := readFull(c.r, data); err != nil {
+		return "", false, err
+	}
+	end, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", false, err
+	}
+	if !strings.HasPrefix(end, "END") {
+		return "", false, fmt.Errorf("get %s: missing END: %q", key, end)
+	}
+	return string(data[:n]), true, nil
+}

@@ -1,0 +1,288 @@
+package scm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Arena header layout. Everything the allocator needs survives in SCM; the
+// only volatile state is a mutex. All multi-step transitions are covered by
+// a persistent intent record so that recovery can roll every allocation or
+// deallocation forward or back (Section 2 of the paper, "Memory leaks").
+const (
+	headerMagic  = 0xF97B_EE00_5C11_0001
+	headerSize   = 4096
+	offMagic     = 0
+	offVersion   = 8
+	offState     = 16 // formatted flag
+	offBump      = 24 // bump pointer: next never-allocated offset
+	offRoot      = 32 // application root PPtr (16 bytes)
+	offIntentOp  = 48 // 0 = none, 1 = alloc, 2 = free
+	offIntentRef = 56 // offset of the caller's persistent pointer
+	offIntentSz  = 64 // requested size
+	offIntentBlk = 72 // staged block offset
+	offArenaID   = 80 // persistent arena identity (PPtrs embed it)
+	offFreeHeads = 256
+	numClasses   = (headerSize - offFreeHeads) / 8 // 480 classes → max 30 KiB reusable blocks
+	maxClassSize = numClasses * LineSize
+
+	intentNone  = 0
+	intentAlloc = 1
+	intentFree  = 2
+)
+
+// allocState is the volatile half of the allocator.
+type allocState struct {
+	mu         sync.Mutex
+	largeFrees uint64 // blocks too large for a free list, dropped (documented leak)
+}
+
+func (p *Pool) formatHeader() {
+	p.WriteU64(offMagic, headerMagic)
+	p.WriteU64(offVersion, 1)
+	p.WriteU64(offBump, headerSize)
+	p.WriteU64(offArenaID, p.id)
+	p.WriteU64(offState, 1)
+	p.Persist(0, headerSize)
+}
+
+// loadAllocState restores the volatile allocator state after Load: the arena
+// identity is persistent because every PPtr in the arena embeds it.
+func (p *Pool) loadAllocState() {
+	p.id = p.ReadU64(offArenaID)
+}
+
+// Root returns the application root pointer stored in the arena header. It
+// is the well-known anchor from which all persistent data is reachable.
+func (p *Pool) Root() PPtr { return p.ReadPPtr(offRoot) }
+
+// SetRoot durably stores the application root pointer.
+func (p *Pool) SetRoot(v PPtr) {
+	p.WritePPtr(offRoot, v)
+	p.Persist(offRoot, PPtrSize)
+}
+
+// AllocRoot allocates a block owned by the arena root pointer itself — the
+// usual way an application creates its top-level metadata block.
+func (p *Pool) AllocRoot(size uint64) (PPtr, error) {
+	return p.Alloc(offRoot, size)
+}
+
+// sizeClass maps a byte size to a free-list class, or -1 for sizes handled
+// by bump allocation only.
+func sizeClass(size uint64) int {
+	c := int((size+LineSize-1)/LineSize) - 1
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+func classBytes(c int) uint64 { return uint64(c+1) * LineSize }
+
+// Alloc carves out a zeroed block of at least size bytes, 64-byte aligned,
+// and durably writes its address into the caller's persistent pointer at
+// refOff before returning. If a crash interrupts the allocation, Recover
+// either completes it (the pointer holds the block) or rolls it back (the
+// pointer is untouched and the block returns to the free list) — the block
+// can never leak, because responsibility is split between the allocator and
+// the pointer owned by the calling data structure.
+func (p *Pool) Alloc(refOff uint64, size uint64) (PPtr, error) {
+	if size == 0 {
+		return PPtr{}, fmt.Errorf("scm: zero-size allocation")
+	}
+	p.alloc.mu.Lock()
+	defer p.alloc.mu.Unlock()
+
+	// Stage the intent.
+	p.WriteU64(offIntentOp, intentAlloc)
+	p.WriteU64(offIntentRef, refOff)
+	p.WriteU64(offIntentSz, size)
+	p.WriteU64(offIntentBlk, 0)
+	p.Persist(offIntentOp, 32)
+
+	blk, err := p.carve(size)
+	if err != nil {
+		p.WriteU64(offIntentOp, intentNone)
+		p.Persist(offIntentOp, 8)
+		return PPtr{}, err
+	}
+
+	// Zero the block so reused memory never leaks stale contents, then
+	// publish it through the caller's persistent pointer.
+	p.zero(blk, roundedSize(size))
+	ptr := PPtr{ArenaID: p.id, Offset: blk}
+	p.WritePPtr(refOff, ptr)
+	p.Persist(refOff, PPtrSize)
+
+	p.WriteU64(offIntentOp, intentNone)
+	p.Persist(offIntentOp, 8)
+	p.stats.Allocs.Add(1)
+	return ptr, nil
+}
+
+func roundedSize(size uint64) uint64 {
+	return (size + LineSize - 1) / LineSize * LineSize
+}
+
+// carve obtains a block from the free list of the right class, or by bumping
+// the high-water mark. The staged block offset is persisted before any list
+// mutation so recovery can always locate the in-limbo block.
+func (p *Pool) carve(size uint64) (uint64, error) {
+	c := sizeClass(size)
+	if c >= 0 {
+		headOff := uint64(offFreeHeads + c*8)
+		if head := p.ReadU64(headOff); head != 0 {
+			p.WriteU64(offIntentBlk, head)
+			p.Persist(offIntentBlk, 8)
+			next := p.ReadU64(head) // free blocks store the next pointer in word 0
+			p.WriteU64(headOff, next)
+			p.Persist(headOff, 8)
+			return head, nil
+		}
+	}
+	rs := roundedSize(size)
+	bump := p.ReadU64(offBump)
+	if bump+rs > uint64(len(p.mem)) {
+		return 0, ErrOutOfMemory
+	}
+	p.WriteU64(offIntentBlk, bump)
+	p.Persist(offIntentBlk, 8)
+	p.WriteU64(offBump, bump+rs)
+	p.Persist(offBump, 8)
+	return bump, nil
+}
+
+var zeroBuf [4096]byte
+
+func (p *Pool) zero(off, size uint64) {
+	for size > 0 {
+		n := size
+		if n > uint64(len(zeroBuf)) {
+			n = uint64(len(zeroBuf))
+		}
+		p.WriteBytes(off, zeroBuf[:n])
+		p.Persist(off, n)
+		off += n
+		size -= n
+	}
+}
+
+// Free returns the block referenced by the persistent pointer at refOff to
+// the allocator and durably nulls that pointer. size must be the size passed
+// to Alloc. Like Alloc, the operation is made crash-atomic by the intent
+// record: after recovery the pointer is either intact (free rolled back
+// cleanly, still owned) or null with the block on the free list.
+func (p *Pool) Free(refOff uint64, size uint64) {
+	p.alloc.mu.Lock()
+	defer p.alloc.mu.Unlock()
+
+	blk := p.ReadPPtr(refOff)
+	if blk.IsNull() {
+		return
+	}
+	p.WriteU64(offIntentOp, intentFree)
+	p.WriteU64(offIntentRef, refOff)
+	p.WriteU64(offIntentSz, size)
+	p.WriteU64(offIntentBlk, blk.Offset)
+	p.Persist(offIntentOp, 32)
+
+	p.push(blk.Offset, size)
+
+	p.WritePPtr(refOff, PPtr{})
+	p.Persist(refOff, PPtrSize)
+	p.WriteU64(offIntentOp, intentNone)
+	p.Persist(offIntentOp, 8)
+	p.stats.Frees.Add(1)
+}
+
+// push links blk onto the free list for size's class. Idempotent: if blk is
+// already the head (a crashed free being replayed), it does nothing.
+func (p *Pool) push(blk, size uint64) {
+	c := sizeClass(size)
+	if c < 0 {
+		p.alloc.largeFrees++
+		return
+	}
+	headOff := uint64(offFreeHeads + c*8)
+	head := p.ReadU64(headOff)
+	if head == blk {
+		return
+	}
+	p.WriteU64(blk, head)
+	p.Persist(blk, 8)
+	p.WriteU64(headOff, blk)
+	p.Persist(headOff, 8)
+}
+
+// Recover completes or rolls back whatever allocator operation was in flight
+// when the crash hit. It must run before any data-structure recovery touches
+// the arena. The decision table follows Section 2 of the paper: the intent
+// record plus the caller's persistent pointer together determine how far the
+// operation progressed.
+func (p *Pool) Recover() {
+	p.alloc.mu.Lock()
+	defer p.alloc.mu.Unlock()
+
+	op := p.ReadU64(offIntentOp)
+	if op == intentNone {
+		return
+	}
+	refOff := p.ReadU64(offIntentRef)
+	size := p.ReadU64(offIntentSz)
+	blk := p.ReadU64(offIntentBlk)
+	switch op {
+	case intentAlloc:
+		p.recoverAlloc(refOff, size, blk)
+	case intentFree:
+		p.recoverFree(refOff, size, blk)
+	}
+	p.WriteU64(offIntentOp, intentNone)
+	p.Persist(offIntentOp, 8)
+}
+
+func (p *Pool) recoverAlloc(refOff, size, blk uint64) {
+	if blk == 0 {
+		return // crashed before a block was staged: nothing happened
+	}
+	if ref := p.ReadPPtr(refOff); ref.Offset == blk {
+		return // pointer published: allocation completed
+	}
+	c := sizeClass(size)
+	if p.ReadU64(offBump) == blk {
+		return // bump path crashed before advancing: block never existed
+	}
+	if c >= 0 {
+		headOff := uint64(offFreeHeads + c*8)
+		if p.ReadU64(headOff) == blk {
+			return // free-list pop never became durable: block still free
+		}
+	}
+	// Block is in limbo: popped (or bumped) but never delivered. Roll back.
+	p.push(blk, size)
+}
+
+func (p *Pool) recoverFree(refOff, size, blk uint64) {
+	if blk == 0 {
+		return
+	}
+	if ref := p.ReadPPtr(refOff); ref.IsNull() {
+		return // pointer already nulled: free completed
+	}
+	p.push(blk, size) // idempotent replay of the list insertion
+	p.WritePPtr(refOff, PPtr{})
+	p.Persist(refOff, PPtrSize)
+}
+
+// LargeFrees reports how many freed blocks were too large for the free-list
+// classes and were therefore dropped rather than reused.
+func (p *Pool) LargeFrees() uint64 {
+	p.alloc.mu.Lock()
+	defer p.alloc.mu.Unlock()
+	return p.alloc.largeFrees
+}
+
+// AllocatedBytes returns the high-water mark of SCM consumption: all bytes
+// ever carved out of the arena (free-listed blocks still count, matching how
+// the paper reports SCM footprint of a loaded tree).
+func (p *Pool) AllocatedBytes() uint64 { return p.ReadU64(offBump) }

@@ -1,0 +1,193 @@
+package scm
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyMode selects how the emulator charges SCM media latency.
+type LatencyMode int
+
+const (
+	// LatencyCount only counts misses and flushes; no time is spent. Use it
+	// in unit tests where determinism matters more than timing.
+	LatencyCount LatencyMode = iota
+	// LatencySpin busy-waits for the configured duration on every SCM cache
+	// miss and line flush, so wall-clock measurements reflect the emulated
+	// medium. Use it in benchmarks.
+	LatencySpin
+)
+
+// LatencyConfig describes the emulated SCM medium and the CPU cache in front
+// of it. The zero value disables latency emulation entirely (counting only,
+// zero latencies) which is the right default for correctness tests.
+type LatencyConfig struct {
+	Mode LatencyMode
+	// ReadLatency is charged on every cache miss that reads SCM media.
+	ReadLatency time.Duration
+	// WriteLatency is charged on every cache-line write-back (flush).
+	WriteLatency time.Duration
+	// CacheBytes is the capacity of the simulated CPU cache in front of SCM.
+	// 0 means the default of 4 MiB. Set to -1 to disable the cache entirely
+	// (every access is a miss), which makes miss counts fully deterministic.
+	CacheBytes int64
+}
+
+// DefaultCacheBytes is the simulated last-level cache capacity used when
+// LatencyConfig.CacheBytes is zero.
+const DefaultCacheBytes = 4 << 20
+
+const cacheWays = 8
+
+// cacheSim is a set-associative tag array emulating the CPU cache in front of
+// SCM. It decides which accesses hit DRAM-speed cache and which pay the SCM
+// media latency, mirroring how the paper's emulation platform exposes latency
+// only on cache misses.
+type cacheSim struct {
+	sets     int
+	disabled bool
+	locks    [64]sync.Mutex // striped by set index
+	tags     []uint64       // sets × cacheWays entries; 0 = empty
+	clock    []uint8        // round-robin replacement cursor per set
+}
+
+func newCacheSim(capacity int64) *cacheSim {
+	if capacity < 0 {
+		return &cacheSim{disabled: true}
+	}
+	if capacity == 0 {
+		capacity = DefaultCacheBytes
+	}
+	sets := int(capacity / (LineSize * cacheWays))
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two so the set index is a mask.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	return &cacheSim{
+		sets:  sets,
+		tags:  make([]uint64, sets*cacheWays),
+		clock: make([]uint8, sets),
+	}
+}
+
+// touch simulates an access to the line containing off and reports whether it
+// missed the cache (and therefore must pay SCM read latency).
+func (c *cacheSim) touch(off uint64) bool {
+	if c.disabled {
+		return true
+	}
+	line := off/LineSize + 1 // +1 so tag 0 means "empty way"
+	set := int(line) & (c.sets - 1)
+	lk := &c.locks[set&(len(c.locks)-1)]
+	lk.Lock()
+	base := set * cacheWays
+	for w := 0; w < cacheWays; w++ {
+		if c.tags[base+w] == line {
+			lk.Unlock()
+			return false
+		}
+	}
+	victim := int(c.clock[set]) % cacheWays
+	c.clock[set]++
+	c.tags[base+victim] = line
+	lk.Unlock()
+	return true
+}
+
+// evict removes the line containing off from the cache, modelling CLFLUSH
+// (which both writes back and invalidates the line).
+func (c *cacheSim) evict(off uint64) {
+	if c.disabled {
+		return
+	}
+	line := off/LineSize + 1
+	set := int(line) & (c.sets - 1)
+	lk := &c.locks[set&(len(c.locks)-1)]
+	lk.Lock()
+	base := set * cacheWays
+	for w := 0; w < cacheWays; w++ {
+		if c.tags[base+w] == line {
+			c.tags[base+w] = 0
+		}
+	}
+	lk.Unlock()
+}
+
+// reset empties the cache, as after a machine restart.
+func (c *cacheSim) reset() {
+	if c.disabled {
+		return
+	}
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}
+
+// spin busy-waits for roughly d. It deliberately avoids the Go scheduler
+// (no time.Sleep) because emulated latencies are in the tens-to-hundreds of
+// nanoseconds, far below timer resolution.
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// Stats aggregates emulator activity counters. All fields are updated
+// atomically and may be read while the pool is in use.
+type Stats struct {
+	Reads        atomic.Uint64 // SCM load operations (any size)
+	Writes       atomic.Uint64 // SCM store operations (any size)
+	ReadMisses   atomic.Uint64 // loads/stores that missed the simulated cache
+	Flushes      atomic.Uint64 // cache-line write-backs (CLFLUSH equivalents)
+	Fences       atomic.Uint64 // memory fences
+	Allocs       atomic.Uint64 // persistent allocations
+	Frees        atomic.Uint64 // persistent deallocations
+	BytesFlushed atomic.Uint64 // payload bytes made durable
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Reads:        s.Reads.Load(),
+		Writes:       s.Writes.Load(),
+		ReadMisses:   s.ReadMisses.Load(),
+		Flushes:      s.Flushes.Load(),
+		Fences:       s.Fences.Load(),
+		Allocs:       s.Allocs.Load(),
+		Frees:        s.Frees.Load(),
+		BytesFlushed: s.BytesFlushed.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Reads        uint64
+	Writes       uint64
+	ReadMisses   uint64
+	Flushes      uint64
+	Fences       uint64
+	Allocs       uint64
+	Frees        uint64
+	BytesFlushed uint64
+}
+
+// Sub returns the delta s - o, counter by counter.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Reads:        s.Reads - o.Reads,
+		Writes:       s.Writes - o.Writes,
+		ReadMisses:   s.ReadMisses - o.ReadMisses,
+		Flushes:      s.Flushes - o.Flushes,
+		Fences:       s.Fences - o.Fences,
+		Allocs:       s.Allocs - o.Allocs,
+		Frees:        s.Frees - o.Frees,
+		BytesFlushed: s.BytesFlushed - o.BytesFlushed,
+	}
+}

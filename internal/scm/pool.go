@@ -1,0 +1,387 @@
+package scm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// Pool is one emulated SCM arena: a contiguous byte-addressable region with
+// cache/durable split, dirty-line tracking, persistence primitives and a
+// crash-safe allocator (alloc.go).
+//
+// Concurrency contract: like real memory, the pool does not serialize data
+// accesses — callers must ensure that two goroutines never touch the same
+// 8-byte word concurrently unless both only read (the trees guarantee this
+// with leaf locks). Dirty-line bookkeeping, the cache simulator, the
+// allocator, and all counters are internally synchronized. Crash, Recover and
+// Save require quiescence (no in-flight operations).
+type Pool struct {
+	id      uint64
+	cfg     LatencyConfig
+	mem     []byte          // cache view: what loads observe
+	durable []byte          // durable view: what survives a crash
+	dirty   []atomic.Uint64 // bitmap over lines: 1 = cache view ahead of durable
+	cache   *cacheSim
+	stats   Stats
+
+	alloc allocState // persistent allocator bookkeeping (volatile part)
+
+	// failFlushes < 0 disables injection; otherwise it is decremented on each
+	// Persist and the crash fires when it reaches zero.
+	failFlushes atomic.Int64
+	crashed     atomic.Bool
+}
+
+// ErrInjectedCrash is the panic value raised by an injected crash fail-point.
+// Test harnesses recover it, call Crash, and run recovery.
+var ErrInjectedCrash = errors.New("scm: injected crash")
+
+// ErrOutOfMemory is returned when an allocation does not fit in the arena.
+var ErrOutOfMemory = errors.New("scm: arena out of memory")
+
+var poolIDs atomic.Uint64
+
+// NewPool creates a fresh arena of the given capacity (rounded up to a whole
+// number of cache lines) and formats its header and allocator state.
+func NewPool(capacity int64, cfg LatencyConfig) *Pool {
+	if capacity < headerSize*2 {
+		capacity = headerSize * 2
+	}
+	lines := (capacity + LineSize - 1) / LineSize
+	capacity = lines * LineSize
+	p := &Pool{
+		id:      poolIDs.Add(1),
+		cfg:     cfg,
+		mem:     make([]byte, capacity),
+		durable: make([]byte, capacity),
+		dirty:   make([]atomic.Uint64, (lines+63)/64),
+		cache:   newCacheSim(cfg.CacheBytes),
+	}
+	p.failFlushes.Store(-1)
+	p.formatHeader()
+	return p
+}
+
+// ID returns the arena identifier used in persistent pointers minted by this
+// pool.
+func (p *Pool) ID() uint64 { return p.id }
+
+// Size returns the arena capacity in bytes.
+func (p *Pool) Size() int64 { return int64(len(p.mem)) }
+
+// Stats exposes the pool's activity counters.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// Config returns the latency configuration the pool was created with.
+func (p *Pool) Config() LatencyConfig { return p.cfg }
+
+// SetLatency swaps the emulated media latencies at runtime (used by the
+// benchmark harness to sweep SCM latency on one loaded tree). The cache
+// configuration cannot change.
+func (p *Pool) SetLatency(mode LatencyMode, read, write time.Duration) {
+	p.cfg.Mode = mode
+	p.cfg.ReadLatency = read
+	p.cfg.WriteLatency = write
+}
+
+// --- loads and stores ---------------------------------------------------
+
+func (p *Pool) onAccess(off, size uint64, write bool) {
+	if p.crashed.Load() {
+		// The machine is "powered off": after an injected crash nothing may
+		// execute until Crash()+recovery run. Propagating the panic stops
+		// every worker, as a real power failure would.
+		panic(ErrInjectedCrash)
+	}
+	if write {
+		p.stats.Writes.Add(1)
+	} else {
+		p.stats.Reads.Add(1)
+	}
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	for l := first; l <= last; l++ {
+		if p.cache.touch(l * LineSize) {
+			p.stats.ReadMisses.Add(1)
+			if p.cfg.Mode == LatencySpin {
+				spin(p.cfg.ReadLatency)
+			}
+		}
+		if write {
+			p.dirty[l/64].Or(1 << (l % 64))
+		}
+	}
+}
+
+// ReadU64 loads a little-endian 8-byte word. Aligned 8-byte loads are the
+// p-atomic unit of the emulated medium.
+func (p *Pool) ReadU64(off uint64) uint64 {
+	p.onAccess(off, 8, false)
+	return binary.LittleEndian.Uint64(p.mem[off:])
+}
+
+// WriteU64 stores a little-endian 8-byte word (p-atomic when aligned).
+func (p *Pool) WriteU64(off, v uint64) {
+	p.onAccess(off, 8, true)
+	binary.LittleEndian.PutUint64(p.mem[off:], v)
+}
+
+// ReadU32 loads a little-endian 4-byte word.
+func (p *Pool) ReadU32(off uint64) uint32 {
+	p.onAccess(off, 4, false)
+	return binary.LittleEndian.Uint32(p.mem[off:])
+}
+
+// WriteU32 stores a little-endian 4-byte word.
+func (p *Pool) WriteU32(off uint64, v uint32) {
+	p.onAccess(off, 4, true)
+	binary.LittleEndian.PutUint32(p.mem[off:], v)
+}
+
+// ReadU16 loads a little-endian 2-byte word.
+func (p *Pool) ReadU16(off uint64) uint16 {
+	p.onAccess(off, 2, false)
+	return binary.LittleEndian.Uint16(p.mem[off:])
+}
+
+// WriteU16 stores a little-endian 2-byte word.
+func (p *Pool) WriteU16(off uint64, v uint16) {
+	p.onAccess(off, 2, true)
+	binary.LittleEndian.PutUint16(p.mem[off:], v)
+}
+
+// ReadU8 loads one byte.
+func (p *Pool) ReadU8(off uint64) uint8 {
+	p.onAccess(off, 1, false)
+	return p.mem[off]
+}
+
+// WriteU8 stores one byte.
+func (p *Pool) WriteU8(off uint64, v uint8) {
+	p.onAccess(off, 1, true)
+	p.mem[off] = v
+}
+
+// ReadBytes copies size bytes starting at off into a fresh slice.
+func (p *Pool) ReadBytes(off, size uint64) []byte {
+	if size == 0 {
+		return nil
+	}
+	p.onAccess(off, size, false)
+	out := make([]byte, size)
+	copy(out, p.mem[off:off+size])
+	return out
+}
+
+// ReadInto copies len(dst) bytes starting at off into dst without allocating.
+func (p *Pool) ReadInto(off uint64, dst []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	p.onAccess(off, uint64(len(dst)), false)
+	copy(dst, p.mem[off:off+uint64(len(dst))])
+}
+
+// WriteBytes stores b at off.
+func (p *Pool) WriteBytes(off uint64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	p.onAccess(off, uint64(len(b)), true)
+	copy(p.mem[off:], b)
+}
+
+// EqualBytes reports whether the size bytes at off equal b, without copying.
+func (p *Pool) EqualBytes(off uint64, b []byte) bool {
+	p.onAccess(off, uint64(len(b)), false)
+	return string(p.mem[off:off+uint64(len(b))]) == string(b)
+}
+
+// CompareBytes three-way-compares the size bytes at off with b, like
+// bytes.Compare.
+func (p *Pool) CompareBytes(off, size uint64, b []byte) int {
+	p.onAccess(off, size, false)
+	a := p.mem[off : off+size]
+	if string(a) < string(b) {
+		return -1
+	}
+	if string(a) > string(b) {
+		return 1
+	}
+	return 0
+}
+
+// ReadPPtr loads a persistent pointer.
+func (p *Pool) ReadPPtr(off uint64) PPtr {
+	return PPtr{ArenaID: p.ReadU64(off), Offset: p.ReadU64(off + 8)}
+}
+
+// WritePPtr stores a persistent pointer. The two words straddle at most one
+// cache line because allocator-minted PPtr fields are 16-byte aligned; the
+// store itself is not p-atomic, callers that need atomic visibility must use
+// an 8-byte commit word, as the tree bitmaps do.
+func (p *Pool) WritePPtr(off uint64, v PPtr) {
+	p.WriteU64(off, v.ArenaID)
+	p.WriteU64(off+8, v.Offset)
+}
+
+// --- persistence primitives ----------------------------------------------
+
+// Persist makes the byte range [off, off+size) durable: it write-backs every
+// covered cache line and issues a fence, the moral equivalent of
+// CLFLUSH+MFENCE (or CLWB+SFENCE) in the paper. It is the only way data
+// reaches the durable view.
+func (p *Pool) Persist(off, size uint64) {
+	if size == 0 {
+		return
+	}
+	p.maybeInjectCrash()
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	for l := first; l <= last; l++ {
+		p.flushLine(l)
+	}
+	p.stats.Fences.Add(1)
+	p.stats.BytesFlushed.Add(size)
+}
+
+// Fence orders prior flushes without flushing anything itself.
+func (p *Pool) Fence() { p.stats.Fences.Add(1) }
+
+func (p *Pool) flushLine(l uint64) {
+	word := &p.dirty[l/64]
+	mask := uint64(1) << (l % 64)
+	if word.Load()&mask == 0 {
+		return // clean line: CLFLUSH of a clean line is ~free
+	}
+	off := l * LineSize
+	copy(p.durable[off:off+LineSize], p.mem[off:off+LineSize])
+	word.And(^mask)
+	p.cache.evict(off)
+	p.stats.Flushes.Add(1)
+	if p.cfg.Mode == LatencySpin {
+		spin(p.cfg.WriteLatency)
+	}
+}
+
+// --- crash machinery -------------------------------------------------------
+
+// FailAfterFlushes arms the crash fail-point: the n-th subsequent Persist
+// call panics with ErrInjectedCrash *before* flushing (n=1 means the very
+// next Persist). Pass a negative n to disarm.
+func (p *Pool) FailAfterFlushes(n int64) {
+	p.failFlushes.Store(n)
+}
+
+func (p *Pool) maybeInjectCrash() {
+	if p.failFlushes.Load() < 0 {
+		return
+	}
+	if p.failFlushes.Add(-1) <= 0 {
+		p.failFlushes.Store(-1)
+		p.crashed.Store(true)
+		panic(ErrInjectedCrash)
+	}
+}
+
+// PanicIfCrashed propagates an injected crash to callers that spin without
+// touching the pool (optimistic retry loops): once the "machine" has failed,
+// no code may make progress. It is a no-op in normal operation.
+func (p *Pool) PanicIfCrashed() {
+	if p.crashed.Load() {
+		panic(ErrInjectedCrash)
+	}
+}
+
+// Crash simulates a power failure: every line that was not flushed reverts to
+// its durable content and the simulated CPU cache empties. The caller must
+// then run recovery (allocator RecoverAlloc plus data-structure recovery)
+// before using the pool again.
+func (p *Pool) Crash() {
+	for w := range p.dirty {
+		bits := p.dirty[w].Load()
+		if bits == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if bits&(1<<b) == 0 {
+				continue
+			}
+			off := (uint64(w)*64 + uint64(b)) * LineSize
+			copy(p.mem[off:off+LineSize], p.durable[off:off+LineSize])
+		}
+		p.dirty[w].Store(0)
+	}
+	p.cache.reset()
+	p.crashed.Store(false)
+}
+
+// CrashTorn behaves like Crash but, before reverting, commits a random prefix
+// of 8-byte words of each dirty line with probability ½ per line. This models
+// the hardware guarantee floor the paper assumes: stores become durable in
+// word units, in unspecified order, unless explicitly flushed. Recovery code
+// must tolerate any such state.
+func (p *Pool) CrashTorn(rng *rand.Rand) {
+	for w := range p.dirty {
+		bits := p.dirty[w].Load()
+		if bits == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if bits&(1<<b) == 0 {
+				continue
+			}
+			off := (uint64(w)*64 + uint64(b)) * LineSize
+			if rng.Intn(2) == 0 {
+				// Persist a random prefix of words, tear the rest.
+				words := rng.Intn(LineSize / 8)
+				copy(p.durable[off:off+uint64(words*8)], p.mem[off:off+uint64(words*8)])
+			}
+			copy(p.mem[off:off+LineSize], p.durable[off:off+LineSize])
+		}
+		p.dirty[w].Store(0)
+	}
+	p.cache.reset()
+	p.crashed.Store(false)
+}
+
+// --- file backing ---------------------------------------------------------
+
+// Save writes the durable view to path, modelling the arena file that an
+// SCM-aware filesystem would expose. Only flushed data is written: anything
+// still in the cache view is lost, exactly as on a machine restart.
+func (p *Pool) Save(path string) error {
+	return os.WriteFile(path, p.durable, 0o644)
+}
+
+// Load opens an arena file produced by Save. The cache view starts equal to
+// the durable view (a cold restart) and the caller must run recovery.
+func Load(path string, cfg LatencyConfig) (*Pool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < headerSize || len(data)%LineSize != 0 {
+		return nil, fmt.Errorf("scm: %s: not an arena image (size %d)", path, len(data))
+	}
+	lines := int64(len(data)) / LineSize
+	p := &Pool{
+		id:      poolIDs.Add(1),
+		cfg:     cfg,
+		mem:     data,
+		durable: append([]byte(nil), data...),
+		dirty:   make([]atomic.Uint64, (lines+63)/64),
+		cache:   newCacheSim(cfg.CacheBytes),
+	}
+	p.failFlushes.Store(-1)
+	if got := binary.LittleEndian.Uint64(p.mem[offMagic:]); got != headerMagic {
+		return nil, fmt.Errorf("scm: %s: bad magic %#x", path, got)
+	}
+	p.loadAllocState()
+	return p, nil
+}

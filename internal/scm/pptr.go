@@ -1,0 +1,44 @@
+// Package scm emulates Storage Class Memory (SCM) with the semantics the
+// FPTree paper depends on: byte-addressable persistent memory reached through
+// a volatile CPU cache, explicit cache-line flush and fence primitives,
+// 8-byte power-fail-atomic (p-atomic) stores, configurable media latency, and
+// a crash-safe persistent allocator with the leak-prevention interface of
+// Section 2 of the paper (Allocate writes the block address into a persistent
+// pointer owned by the caller before returning).
+//
+// The emulator keeps two views of the arena: the cache view (what the CPU
+// sees) and the durable view (what survives a crash). Stores land in the
+// cache view and mark their 64-byte lines dirty; Persist copies the covered
+// lines to the durable view. Crash discards every dirty line, so recovery
+// code is exercised against exactly the states a real power failure could
+// leave behind.
+package scm
+
+import "fmt"
+
+// LineSize is the cache-line size in bytes. All flush, dirty-tracking and
+// latency accounting happens at this granularity.
+const LineSize = 64
+
+// PPtr is a persistent pointer: an (arena ID, offset) pair that stays valid
+// across restarts, unlike virtual addresses. Offset 0 addresses the arena
+// header, which is never handed out by the allocator, so the zero PPtr acts
+// as the persistent null.
+type PPtr struct {
+	ArenaID uint64
+	Offset  uint64
+}
+
+// PPtrSize is the serialized size of a PPtr in SCM.
+const PPtrSize = 16
+
+// IsNull reports whether p is the persistent null pointer.
+func (p PPtr) IsNull() bool { return p.Offset == 0 }
+
+// String renders the pointer for diagnostics.
+func (p PPtr) String() string {
+	if p.IsNull() {
+		return "pnull"
+	}
+	return fmt.Sprintf("p%d:%#x", p.ArenaID, p.Offset)
+}

@@ -1,0 +1,329 @@
+// Package stx implements a classical main-memory B+-Tree with sorted nodes,
+// modeled after the STX B+-Tree the paper uses as its fully transient
+// reference implementation (Table 1: small nodes tuned for cache locality).
+// It lives entirely in DRAM, offers no persistence, and serves as the
+// performance ceiling the FPTree is measured against, as well as the
+// "full rebuild" recovery baseline.
+package stx
+
+import "sort"
+
+// Tree is a transient B+-Tree, generic over key and value. It is not safe
+// for concurrent use.
+type Tree[K any, V any] struct {
+	less   func(a, b K) bool
+	inner  int // max keys per inner node
+	leaf   int // max pairs per leaf
+	root   any // *innerNode[K,V] or *leafNode[K,V]
+	height int
+	size   int
+	head   *leafNode[K, V]
+}
+
+type innerNode[K any, V any] struct {
+	keys []K
+	kids []any
+}
+
+type leafNode[K any, V any] struct {
+	keys []K
+	vals []V
+	next *leafNode[K, V]
+}
+
+// New creates a tree with the given node capacities (keys per inner node,
+// pairs per leaf). less defines the total key order.
+func New[K any, V any](inner, leaf int, less func(a, b K) bool) *Tree[K, V] {
+	if inner < 2 {
+		inner = 16
+	}
+	if leaf < 2 {
+		leaf = 16
+	}
+	return &Tree[K, V]{less: less, inner: inner, leaf: leaf}
+}
+
+// NewUint64 creates a tree over uint64 keys and values with the paper's
+// default STXTree node sizes (Table 1).
+func NewUint64() *Tree[uint64, uint64] {
+	return New[uint64, uint64](16, 16, func(a, b uint64) bool { return a < b })
+}
+
+// NewString creates a tree over string keys with the paper's variable-size
+// key node sizes.
+func NewString() *Tree[string, []byte] {
+	return New[string, []byte](8, 8, func(a, b string) bool { return a < b })
+}
+
+// Len returns the number of stored pairs.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Height returns the number of node levels.
+func (t *Tree[K, V]) Height() int { return t.height }
+
+func (t *Tree[K, V]) lowerBound(keys []K, k K) int {
+	return sort.Search(len(keys), func(i int) bool { return !t.less(keys[i], k) })
+}
+
+// Find returns the value stored under key.
+func (t *Tree[K, V]) Find(key K) (V, bool) {
+	var zero V
+	if t.root == nil {
+		return zero, false
+	}
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *innerNode[K, V]:
+			// Separators are "max key of the left subtree": an equal key
+			// descends left.
+			i := t.lowerBound(nd.keys, key)
+			n = nd.kids[i]
+		case *leafNode[K, V]:
+			i := t.lowerBound(nd.keys, key)
+			if i < len(nd.keys) && !t.less(key, nd.keys[i]) && !t.less(nd.keys[i], key) {
+				return nd.vals[i], true
+			}
+			return zero, false
+		}
+	}
+}
+
+// Insert stores a pair; an existing key is overwritten (sorted B+-Trees have
+// no cheap duplicate policy, and the paper's workloads use unique keys).
+func (t *Tree[K, V]) Insert(key K, value V) {
+	if t.root == nil {
+		l := &leafNode[K, V]{keys: []K{key}, vals: []V{value}}
+		t.root = l
+		t.head = l
+		t.height = 1
+		t.size = 1
+		return
+	}
+	up, right := t.insert(t.root, key, value)
+	if right != nil {
+		t.root = &innerNode[K, V]{keys: []K{up}, kids: []any{t.root, right}}
+		t.height++
+	}
+}
+
+func (t *Tree[K, V]) insert(n any, key K, value V) (K, any) {
+	var zero K
+	switch nd := n.(type) {
+	case *innerNode[K, V]:
+		i := t.lowerBound(nd.keys, key)
+		up, right := t.insert(nd.kids[i], key, value)
+		if right == nil {
+			return zero, nil
+		}
+		nd.keys = append(nd.keys, up)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = up
+		nd.kids = append(nd.kids, nil)
+		copy(nd.kids[i+2:], nd.kids[i+1:])
+		nd.kids[i+1] = right
+		if len(nd.keys) <= t.inner {
+			return zero, nil
+		}
+		mid := len(nd.keys) / 2
+		promoted := nd.keys[mid]
+		r := &innerNode[K, V]{
+			keys: append([]K(nil), nd.keys[mid+1:]...),
+			kids: append([]any(nil), nd.kids[mid+1:]...),
+		}
+		nd.keys = nd.keys[:mid:mid]
+		nd.kids = nd.kids[: mid+1 : mid+1]
+		return promoted, r
+	case *leafNode[K, V]:
+		i := t.lowerBound(nd.keys, key)
+		if i < len(nd.keys) && !t.less(key, nd.keys[i]) && !t.less(nd.keys[i], key) {
+			nd.vals[i] = value // overwrite
+			return zero, nil
+		}
+		var zk K
+		var zv V
+		nd.keys = append(nd.keys, zk)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		nd.keys[i] = key
+		nd.vals = append(nd.vals, zv)
+		copy(nd.vals[i+1:], nd.vals[i:])
+		nd.vals[i] = value
+		t.size++
+		if len(nd.keys) <= t.leaf {
+			return zero, nil
+		}
+		mid := len(nd.keys) / 2
+		r := &leafNode[K, V]{
+			keys: append([]K(nil), nd.keys[mid:]...),
+			vals: append([]V(nil), nd.vals[mid:]...),
+			next: nd.next,
+		}
+		nd.keys = nd.keys[:mid:mid]
+		nd.vals = nd.vals[:mid:mid]
+		nd.next = r
+		return nd.keys[mid-1], r
+	}
+	panic("stx: unknown node type")
+}
+
+// Update replaces the value under key, reporting whether it existed.
+func (t *Tree[K, V]) Update(key K, value V) bool {
+	if t.root == nil {
+		return false
+	}
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *innerNode[K, V]:
+			i := t.lowerBound(nd.keys, key)
+			n = nd.kids[i]
+		case *leafNode[K, V]:
+			i := t.lowerBound(nd.keys, key)
+			if i < len(nd.keys) && !t.less(key, nd.keys[i]) && !t.less(nd.keys[i], key) {
+				nd.vals[i] = value
+				return true
+			}
+			return false
+		}
+	}
+}
+
+// Delete removes key, reporting whether it existed. Underflowed nodes are
+// not rebalanced (sorted deletion cost dominates either way, and the paper's
+// delete benchmark measures exactly that).
+func (t *Tree[K, V]) Delete(key K) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, key)
+	if deleted {
+		t.size--
+		for {
+			in, ok := t.root.(*innerNode[K, V])
+			if !ok {
+				break
+			}
+			if len(in.kids) == 0 {
+				t.root = nil
+				break
+			}
+			if len(in.kids) > 1 {
+				break
+			}
+			t.root = in.kids[0]
+			t.height--
+		}
+		if lf, ok := t.root.(*leafNode[K, V]); ok && len(lf.keys) == 0 {
+			t.root = nil
+		}
+		if t.root == nil {
+			t.height = 0
+			t.head = nil
+		}
+	}
+	return deleted
+}
+
+func (t *Tree[K, V]) delete(n any, key K) bool {
+	switch nd := n.(type) {
+	case *innerNode[K, V]:
+		i := t.lowerBound(nd.keys, key)
+		if !t.delete(nd.kids[i], key) {
+			return false
+		}
+		// Prune emptied children.
+		if width[K, V](nd.kids[i]) == 0 {
+			ki := i
+			if ki == len(nd.keys) {
+				ki = len(nd.keys) - 1
+			}
+			if ki >= 0 {
+				nd.keys = append(nd.keys[:ki], nd.keys[ki+1:]...)
+			}
+			nd.kids = append(nd.kids[:i], nd.kids[i+1:]...)
+		}
+		return true
+	case *leafNode[K, V]:
+		i := t.lowerBound(nd.keys, key)
+		if i >= len(nd.keys) || t.less(key, nd.keys[i]) || t.less(nd.keys[i], key) {
+			return false
+		}
+		nd.keys = append(nd.keys[:i], nd.keys[i+1:]...)
+		nd.vals = append(nd.vals[:i], nd.vals[i+1:]...)
+		return true
+	}
+	panic("stx: unknown node type")
+}
+
+func width[K any, V any](n any) int {
+	switch nd := n.(type) {
+	case *innerNode[K, V]:
+		return len(nd.kids)
+	case *leafNode[K, V]:
+		return len(nd.keys)
+	}
+	return 0
+}
+
+// Scan visits pairs with key >= from in order until fn returns false.
+func (t *Tree[K, V]) Scan(from K, fn func(K, V) bool) {
+	if t.root == nil {
+		return
+	}
+	n := t.root
+	var leaf *leafNode[K, V]
+	for leaf == nil {
+		switch nd := n.(type) {
+		case *innerNode[K, V]:
+			i := t.lowerBound(nd.keys, from)
+			n = nd.kids[i]
+		case *leafNode[K, V]:
+			leaf = nd
+		}
+	}
+	for leaf != nil {
+		for i := range leaf.keys {
+			if t.less(leaf.keys[i], from) {
+				continue
+			}
+			if !fn(leaf.keys[i], leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
+// ScanN returns up to n pairs with key >= from.
+func (t *Tree[K, V]) ScanN(from K, n int) ([]K, []V) {
+	ks := make([]K, 0, n)
+	vs := make([]V, 0, n)
+	t.Scan(from, func(k K, v V) bool {
+		ks = append(ks, k)
+		vs = append(vs, v)
+		return len(ks) < n
+	})
+	return ks, vs
+}
+
+// MemoryBytes estimates the DRAM held by the tree's nodes (for the Figure 8
+// comparison).
+func (t *Tree[K, V]) MemoryBytes() uint64 {
+	var total uint64
+	var walk func(n any)
+	walk = func(n any) {
+		switch nd := n.(type) {
+		case *innerNode[K, V]:
+			total += uint64(cap(nd.keys))*16 + uint64(cap(nd.kids))*16 + 48
+			for _, k := range nd.kids {
+				walk(k)
+			}
+		case *leafNode[K, V]:
+			total += uint64(cap(nd.keys))*16 + uint64(cap(nd.vals))*16 + 56
+		}
+	}
+	if t.root != nil {
+		walk(t.root)
+	}
+	return total
+}

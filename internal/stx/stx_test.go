@@ -1,0 +1,175 @@
+package stx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := NewUint64()
+	if _, ok := tr.Find(1); ok {
+		t.Fatal("find on empty")
+	}
+	if tr.Delete(1) {
+		t.Fatal("delete on empty")
+	}
+	if tr.Update(1, 2) {
+		t.Fatal("update on empty")
+	}
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("non-zero size/height")
+	}
+}
+
+func TestInsertFindRandom(t *testing.T) {
+	tr := NewUint64()
+	rng := rand.New(rand.NewSource(1))
+	const n = 10000
+	for _, k := range rng.Perm(n) {
+		tr.Insert(uint64(k)+1, uint64(k)*2)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for k := 1; k <= n; k++ {
+		v, ok := tr.Find(uint64(k))
+		if !ok || v != uint64(k-1)*2 {
+			t.Fatalf("find(%d) = %d,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Find(n + 10); ok {
+		t.Fatal("found absent")
+	}
+	if h := tr.Height(); h < 3 {
+		t.Fatalf("height = %d, too shallow for %d keys", h, n)
+	}
+}
+
+func TestInsertOverwrites(t *testing.T) {
+	tr := NewUint64()
+	tr.Insert(5, 1)
+	tr.Insert(5, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, _ := tr.Find(5); v != 2 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := NewUint64()
+	rng := rand.New(rand.NewSource(2))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		tr.Insert(uint64(k)+1, 0)
+	}
+	for _, k := range keys {
+		if !tr.Delete(uint64(k) + 1) {
+			t.Fatalf("delete(%d) failed", k+1)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Insert(1, 1)
+	if v, ok := tr.Find(1); !ok || v != 1 {
+		t.Fatal("reuse after emptying failed")
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr := NewUint64()
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range rng.Perm(2000) {
+		tr.Insert(uint64(k)*2+2, uint64(k))
+	}
+	ks, _ := tr.ScanN(100, 300)
+	if len(ks) != 300 {
+		t.Fatalf("scan %d", len(ks))
+	}
+	want := uint64(100)
+	for i, k := range ks {
+		if k != want {
+			t.Fatalf("scan[%d] = %d want %d", i, k, want)
+		}
+		want += 2
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := NewString()
+	for i := 0; i < 3000; i++ {
+		tr.Insert(fmt.Sprintf("key-%06d", i), []byte{byte(i)})
+	}
+	for i := 0; i < 3000; i++ {
+		v, ok := tr.Find(fmt.Sprintf("key-%06d", i))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("find %d failed", i)
+		}
+	}
+	ks, _ := tr.ScanN("key-000100", 10)
+	if len(ks) != 10 || ks[0] != "key-000100" {
+		t.Fatalf("scan = %v", ks)
+	}
+}
+
+func TestQuickOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[uint64, uint64](4, 4, func(a, b uint64) bool { return a < b })
+		oracle := map[uint64]uint64{}
+		for i := 0; i < 1500; i++ {
+			k := rng.Uint64()%400 + 1
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				tr.Insert(k, v)
+				oracle[k] = v
+			case 1:
+				ok := tr.Delete(k)
+				if _, want := oracle[k]; ok != want {
+					t.Fatalf("delete(%d) = %v want %v", k, ok, want)
+				}
+				delete(oracle, k)
+			case 2:
+				v, ok := tr.Find(k)
+				want, wok := oracle[k]
+				if ok != wok || (ok && v != want) {
+					t.Fatalf("find(%d) = %d,%v want %d,%v", k, v, ok, want, wok)
+				}
+			}
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("Len = %d oracle %d", tr.Len(), len(oracle))
+		}
+		ks, vs := tr.ScanN(0, len(oracle)+1)
+		if len(ks) != len(oracle) {
+			t.Fatalf("scan %d oracle %d", len(ks), len(oracle))
+		}
+		for i := range ks {
+			if oracle[ks[i]] != vs[i] {
+				t.Fatalf("scan pair %d mismatch", i)
+			}
+			if i > 0 && ks[i] <= ks[i-1] {
+				t.Fatal("scan out of order")
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBytesNonZero(t *testing.T) {
+	tr := NewUint64()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i, i)
+	}
+	if tr.MemoryBytes() < 1000*16 {
+		t.Fatalf("MemoryBytes = %d, implausibly small", tr.MemoryBytes())
+	}
+}

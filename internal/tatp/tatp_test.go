@@ -1,0 +1,91 @@
+package tatp
+
+import (
+	"testing"
+
+	"fptree/internal/core"
+	"fptree/internal/scm"
+)
+
+type fpIdx struct{ t *core.Tree }
+
+func (a fpIdx) Insert(k, v uint64) error     { return a.t.Insert(k, v) }
+func (a fpIdx) Find(k uint64) (uint64, bool) { return a.t.Find(k) }
+
+func newDB(t *testing.T, n int) (*DB, *scm.Pool) {
+	t.Helper()
+	idxPool := scm.NewPool(64<<20, scm.LatencyConfig{})
+	tr, err := core.Create(idxPool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colPool := scm.NewPool(64<<20, scm.LatencyConfig{})
+	db, err := Load(colPool, fpIdx{tr}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, idxPool
+}
+
+func TestLoadAndQueries(t *testing.T) {
+	db, _ := newDB(t, 5000)
+	if err := db.Verify(500); err != nil {
+		t.Fatal(err)
+	}
+	nbr, _, _, ok := db.GetSubscriberData(123)
+	if !ok || nbr != 123*7919 {
+		t.Fatalf("GetSubscriberData = %d,%v", nbr, ok)
+	}
+	if _, _, _, ok := db.GetSubscriberData(999999); ok {
+		t.Fatal("found absent subscriber")
+	}
+	if _, ok := db.GetAccessData(55, 2); !ok {
+		t.Fatal("GetAccessData failed")
+	}
+	// GetNewDestination may legitimately miss (inactive forwarding) but must
+	// never error; probe until a hit.
+	hit := false
+	for sid := uint64(1); sid <= 200 && !hit; sid++ {
+		for sf := 0; sf < 4; sf++ {
+			if _, ok := db.GetNewDestination(sid, sf, 23); ok {
+				hit = true
+				break
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("no active call forwarding found in 200 subscribers")
+	}
+}
+
+func TestRunReadOnlyThroughput(t *testing.T) {
+	db, _ := newDB(t, 2000)
+	tps := db.RunReadOnly(4, 8000)
+	if tps <= 0 {
+		t.Fatalf("tps = %f", tps)
+	}
+}
+
+func TestRestartRecoversIndex(t *testing.T) {
+	db, idxPool := newDB(t, 3000)
+	elapsed, err := db.Restart(func() (Index, error) {
+		idxPool.Crash()
+		tr, err := core.Open(idxPool)
+		if err != nil {
+			return nil, err
+		}
+		return fpIdx{tr}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatal("restart took no time")
+	}
+	if err := db.Verify(300); err != nil {
+		t.Fatal(err)
+	}
+	if tps := db.RunReadOnly(2, 2000); tps <= 0 {
+		t.Fatal("no throughput after restart")
+	}
+}
