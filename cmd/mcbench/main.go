@@ -1,33 +1,52 @@
 // Command mcbench is the mc-benchmark equivalent used in Section 6.4: it
 // issues SET requests followed by GET requests against a memcached-protocol
-// server from many client connections and reports throughput.
+// server from many client connections and reports throughput, completed op
+// counts and client-side latency percentiles. With -server-stats it also
+// fetches the server's `stats` output after the run.
 //
 // Usage:
 //
-//	mcbench -addr 127.0.0.1:11211 -clients 50 -ops 100000
+//	mcbench -addr 127.0.0.1:11211 -clients 50 -ops 100000 -server-stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fptree/internal/kvserver"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:11211", "server address")
-		clients = flag.Int("clients", 50, "concurrent connections")
-		ops     = flag.Int("ops", 100000, "operations per phase")
-		size    = flag.Int("size", 32, "value size in bytes")
+		addr        = flag.String("addr", "127.0.0.1:11211", "server address")
+		clients     = flag.Int("clients", 50, "concurrent connections")
+		ops         = flag.Int("ops", 100000, "operations per phase")
+		size        = flag.Int("size", 32, "value size in bytes")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-request I/O deadline (0 = none)")
+		serverStats = flag.Bool("server-stats", false, "fetch and print the server's `stats` output after the run")
 	)
 	flag.Parse()
 
-	res, err := kvserver.RunMCBenchmark(*addr, *clients, *ops, *size)
+	res, err := kvserver.RunMCBenchmarkTimeout(*addr, *clients, *ops, *size, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("SET: %.0f ops/s\nGET: %.0f ops/s\n", res.SetOps, res.GetOps)
+	report := func(name string, rate float64, done uint64, lat kvserver.HistogramSnapshot) {
+		fmt.Printf("%s: %.0f ops/s (%d completed)  p50=%v p95=%v p99=%v max=%v\n",
+			name, rate, done, lat.P50, lat.P95, lat.P99, lat.Max)
+	}
+	report("SET", res.SetOps, res.SetCompleted, res.SetLatency)
+	report("GET", res.GetOps, res.GetCompleted, res.GetLatency)
+
+	if *serverStats {
+		stats, err := kvserver.FetchServerStats(*addr, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(kvserver.FormatStats(stats))
+	}
 }

@@ -1,10 +1,15 @@
 // Command memkv runs the memcached-like key-value server of Section 6.4 with
 // a selectable storage engine. Point any memcached text-protocol client (or
-// cmd/mcbench) at it.
+// cmd/mcbench) at it. It speaks get/gets/set (with noreply), delete, version,
+// stats and quit.
 //
 // Usage:
 //
-//	memkv -addr 127.0.0.1:11211 -store fptreec -latency 85
+//	memkv -addr 127.0.0.1:11211 -store fptreec -latency 85 -max-conns 1024
+//
+// On SIGINT/SIGTERM the server drains in-flight commands (bounded by -drain)
+// and, unless -stats=false, dumps the final stats — per-op counters, latency
+// histogram summaries and the SCM emulator counters — to stdout.
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"fptree/internal/kvserver"
@@ -20,10 +26,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:11211", "listen address")
-		store   = flag.String("store", "fptreec", "fptreec | fptree | ptree | nvtreec | hashmap")
-		latency = flag.Int("latency", 0, "emulated SCM latency in ns (0 = off)")
-		poolMB  = flag.Int("pool", 512, "SCM arena size in MiB")
+		addr         = flag.String("addr", "127.0.0.1:11211", "listen address")
+		store        = flag.String("store", "fptreec", "fptreec | fptree | ptree | nvtreec | hashmap")
+		latency      = flag.Int("latency", 0, "emulated SCM latency in ns (0 = off)")
+		poolMB       = flag.Int("pool", 512, "SCM arena size in MiB")
+		readTimeout  = flag.Duration("read-timeout", 0, "per-command read deadline (0 = none)")
+		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
+		maxConns     = flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
+		drain        = flag.Duration("drain", time.Second, "shutdown grace for in-flight commands")
+		dumpStats    = flag.Bool("stats", true, "dump server stats on shutdown")
 	)
 	flag.Parse()
 
@@ -61,7 +72,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv, bound, err := kvserver.Serve(*addr, st)
+	cfg := kvserver.Config{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxConns:     *maxConns,
+		DrainTimeout: *drain,
+		Pool:         pool,
+	}
+	srv, bound, err := kvserver.ServeConfig(*addr, st, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -69,7 +87,11 @@ func main() {
 	fmt.Printf("memkv: %s store listening on %s (SCM latency %dns)\n", st.Name(), bound, *latency)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	fmt.Println("memkv: shutting down")
 	srv.Close()
+	if *dumpStats {
+		srv.DumpStats(os.Stdout)
+	}
 }

@@ -1,28 +1,37 @@
 // Package kvserver is the memcached integration of Section 6.4: a TCP
-// key-value cache speaking a subset of the memcached text protocol (get/set),
-// whose internal hash table is replaced by the persistent trees under test.
-// As in the paper, full string keys are stored in the tree (not their
-// hashes), and the concurrent trees service requests in parallel while the
-// single-threaded trees serialize behind a global lock.
+// key-value cache speaking a subset of the memcached text protocol
+// (get/set/delete/stats/version), whose internal hash table is replaced by
+// the persistent trees under test. As in the paper, full string keys are
+// stored in the tree (not their hashes), and the concurrent trees service
+// requests in parallel while the single-threaded trees serialize behind a
+// global lock.
 package kvserver
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fptree/internal/core"
 	"fptree/internal/nvtree"
 	"fptree/internal/scm"
 )
 
+// Version is reported by the memcached `version` command.
+const Version = "fptree-memkv/1.1"
+
 // Store is the pluggable storage engine behind the server.
 type Store interface {
 	Set(key, value []byte) error
 	Get(key []byte) ([]byte, bool)
+	Delete(key []byte) (bool, error)
 	Name() string
 }
 
@@ -32,12 +41,19 @@ const MaxValueSize = 120
 
 const slotSize = MaxValueSize + 2
 
-func encodeVal(v []byte) []byte {
+// ErrValueTooLarge is returned by Store.Set when the value does not fit in
+// the trees' inline value slots.
+var ErrValueTooLarge = errors.New("kvserver: value exceeds MaxValueSize")
+
+func encodeVal(v []byte) ([]byte, error) {
+	if len(v) > MaxValueSize {
+		return nil, ErrValueTooLarge
+	}
 	buf := make([]byte, slotSize)
 	buf[0] = byte(len(v))
 	buf[1] = byte(len(v) >> 8)
 	copy(buf[2:], v)
-	return buf
+	return buf, nil
 }
 
 func decodeVal(buf []byte) []byte {
@@ -64,7 +80,13 @@ func NewFPTreeCStore(pool *scm.Pool) (Store, error) {
 
 type cvarStore struct{ t *core.CVarTree }
 
-func (s cvarStore) Set(k, v []byte) error { return s.t.Upsert(k, encodeVal(v)) }
+func (s cvarStore) Set(k, v []byte) error {
+	buf, err := encodeVal(v)
+	if err != nil {
+		return err
+	}
+	return s.t.Upsert(k, buf)
+}
 func (s cvarStore) Get(k []byte) ([]byte, bool) {
 	v, ok := s.t.Find(k)
 	if !ok {
@@ -72,7 +94,8 @@ func (s cvarStore) Get(k []byte) ([]byte, bool) {
 	}
 	return decodeVal(v), true
 }
-func (s cvarStore) Name() string { return "FPTreeC" }
+func (s cvarStore) Delete(k []byte) (bool, error) { return s.t.Delete(k) }
+func (s cvarStore) Name() string                  { return "FPTreeC" }
 
 // NewFPTreeStore backs the cache with the single-threaded FPTree behind a
 // global lock (the paper's non-concurrent configuration).
@@ -100,9 +123,13 @@ type lockedVarStore struct {
 }
 
 func (s *lockedVarStore) Set(k, v []byte) error {
+	buf, err := encodeVal(v)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.t.Upsert(k, encodeVal(v))
+	return s.t.Upsert(k, buf)
 }
 
 func (s *lockedVarStore) Get(k []byte) ([]byte, bool) {
@@ -113,6 +140,12 @@ func (s *lockedVarStore) Get(k []byte) ([]byte, bool) {
 		return nil, false
 	}
 	return decodeVal(v), true
+}
+
+func (s *lockedVarStore) Delete(k []byte) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Delete(k)
 }
 
 func (s *lockedVarStore) Name() string { return s.name }
@@ -128,7 +161,13 @@ func NewNVTreeCStore(pool *scm.Pool) (Store, error) {
 
 type nvStore struct{ t *nvtree.CVarTree }
 
-func (s nvStore) Set(k, v []byte) error { return s.t.Upsert(k, encodeVal(v)) }
+func (s nvStore) Set(k, v []byte) error {
+	buf, err := encodeVal(v)
+	if err != nil {
+		return err
+	}
+	return s.t.Upsert(k, buf)
+}
 func (s nvStore) Get(k []byte) ([]byte, bool) {
 	v, ok := s.t.Find(k)
 	if !ok {
@@ -136,9 +175,12 @@ func (s nvStore) Get(k []byte) ([]byte, bool) {
 	}
 	return decodeVal(v), true
 }
-func (s nvStore) Name() string { return "NV-TreeC" }
+func (s nvStore) Delete(k []byte) (bool, error) { return s.t.Delete(k) }
+func (s nvStore) Name() string                  { return "NV-TreeC" }
 
-// NewHashMapStore is vanilla memcached's transient hash table.
+// NewHashMapStore is vanilla memcached's transient hash table. It enforces
+// the same MaxValueSize contract as the tree stores so every engine is
+// interchangeable behind the protocol.
 func NewHashMapStore() Store {
 	return &mapStore{m: map[string][]byte{}}
 }
@@ -149,6 +191,9 @@ type mapStore struct {
 }
 
 func (s *mapStore) Set(k, v []byte) error {
+	if len(v) > MaxValueSize {
+		return ErrValueTooLarge
+	}
 	s.mu.Lock()
 	s.m[string(k)] = append([]byte(nil), v...)
 	s.mu.Unlock()
@@ -162,35 +207,162 @@ func (s *mapStore) Get(k []byte) ([]byte, bool) {
 	return v, ok
 }
 
+func (s *mapStore) Delete(k []byte) (bool, error) {
+	s.mu.Lock()
+	_, ok := s.m[string(k)]
+	delete(s.m, string(k))
+	s.mu.Unlock()
+	return ok, nil
+}
+
 func (s *mapStore) Name() string { return "HashMap" }
 
 // --- server -------------------------------------------------------------------
 
-// Server is a minimal memcached-protocol server.
-type Server struct {
-	store Store
-	ln    net.Listener
-	wg    sync.WaitGroup
+// Config tunes the server's lifecycle and resource limits. The zero value
+// means: no per-command deadlines, unlimited connections, 500ms drain on
+// Close, no SCM counters in `stats`.
+type Config struct {
+	// ReadTimeout bounds how long the server waits for the next command (and
+	// its payload) on a connection; expiry closes the connection. 0 disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush. 0 disables.
+	WriteTimeout time.Duration
+	// MaxConns caps simultaneous connections; excess clients receive
+	// "SERVER_ERROR max connections reached" and are disconnected. 0 means
+	// unlimited.
+	MaxConns int
+	// DrainTimeout is the grace period Close gives in-flight commands before
+	// force-closing their connections. 0 means 500ms.
+	DrainTimeout time.Duration
+	// Pool, when set, adds the SCM emulator counters (scm_* lines) to the
+	// `stats` command output.
+	Pool *scm.Pool
 }
 
-// Serve starts listening on addr (e.g. "127.0.0.1:0") and returns the bound
-// address.
+const defaultDrainTimeout = 500 * time.Millisecond
+
+// Server is a memcached-protocol server with connection tracking, graceful
+// shutdown and a metrics layer surfaced through the `stats` command.
+type Server struct {
+	store   Store
+	cfg     Config
+	ln      net.Listener
+	metrics Metrics
+	wg      sync.WaitGroup
+	closing atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") with default Config
+// and returns the bound address.
 func Serve(addr string, store Store) (*Server, string, error) {
+	return ServeConfig(addr, store, Config{})
+}
+
+// ServeConfig starts listening on addr with the given Config and returns the
+// bound address.
+func ServeConfig(addr string, store Store, cfg Config) (*Server, string, error) {
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = defaultDrainTimeout
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	s := &Server{store: store, ln: ln}
+	s := &Server{store: store, cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.metrics.start = time.Now()
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, ln.Addr().String(), nil
 }
 
-// Close stops the listener and waits for connection handlers to drain.
+// Metrics exposes the server's live counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Close stops the listener and shuts down every live connection: handlers
+// get DrainTimeout to finish their current command (idle connections are
+// released by the same deadline), after which remaining connections are
+// force-closed. It is safe to call multiple times.
 func (s *Server) Close() error {
 	err := s.ln.Close()
-	s.wg.Wait()
+	if s.closing.Swap(true) {
+		s.wg.Wait()
+		return err
+	}
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	s.mu.Lock()
+	for c := range s.conns {
+		c.SetDeadline(deadline)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline) + s.cfg.DrainTimeout):
+		// A handler extended its own deadline past the drain window (or is
+		// blocked writing to a dead peer): pull the plug.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
+}
+
+// DumpStats writes the current stats (the same lines the `stats` protocol
+// command reports, newline-terminated) to w.
+func (s *Server) DumpStats(w io.Writer) {
+	s.writeStats(w, "\n")
+	fmt.Fprintf(w, "END\n")
+}
+
+func (s *Server) writeStats(w io.Writer, eol string) {
+	fmt.Fprintf(w, "STAT version %s%s", Version, eol)
+	fmt.Fprintf(w, "STAT engine %s%s", s.store.Name(), eol)
+	s.metrics.writeTo(w, eol)
+	if s.cfg.Pool != nil {
+		ps := s.cfg.Pool.Stats().Snapshot()
+		stat := func(k string, v interface{}) { fmt.Fprintf(w, "STAT %s %v%s", k, v, eol) }
+		stat("scm_pool_bytes", s.cfg.Pool.Size())
+		stat("scm_reads", ps.Reads)
+		stat("scm_writes", ps.Writes)
+		stat("scm_read_misses", ps.ReadMisses)
+		stat("scm_flushes", ps.Flushes)
+		stat("scm_fences", ps.Fences)
+		stat("scm_allocs", ps.Allocs)
+		stat("scm_frees", ps.Frees)
+		stat("scm_bytes_flushed", ps.BytesFlushed)
+	}
+}
+
+// track registers a connection; it reports (accepted, atCapacity).
+func (s *Server) track(c net.Conn) (bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing.Load() {
+		return false, false
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return false, true
+	}
+	s.conns[c] = struct{}{}
+	return true, false
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -199,6 +371,17 @@ func (s *Server) acceptLoop() {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
+		}
+		s.metrics.TotalConnections.Add(1)
+		ok, full := s.track(conn)
+		if !ok {
+			if full {
+				s.metrics.RejectedConnections.Add(1)
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				io.WriteString(conn, "SERVER_ERROR max connections reached\r\n")
+			}
+			conn.Close()
+			continue
 		}
 		s.wg.Add(1)
 		go func() {
@@ -209,10 +392,35 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	defer func() {
+		conn.Close()
+		s.untrack(conn)
+		s.metrics.CurrConnections.Add(-1)
+	}()
+	s.metrics.CurrConnections.Add(1)
+	m := &s.metrics
+	r := bufio.NewReader(countingReader{conn, &m.BytesRead})
+	w := bufio.NewWriter(countingWriter{conn, &m.BytesWritten})
+	flush := func() bool {
+		if w.Buffered() == 0 {
+			return true
+		}
+		if s.cfg.WriteTimeout > 0 && !s.closing.Load() {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		return w.Flush() == nil
+	}
+	reply := func(msg string) bool {
+		w.WriteString(msg)
+		return flush()
+	}
 	for {
+		if s.closing.Load() {
+			return
+		}
+		if s.cfg.ReadTimeout > 0 && !s.closing.Load() {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -221,57 +429,153 @@ func (s *Server) handle(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
+		start := time.Now()
 		switch fields[0] {
 		case "set":
-			// set <key> <flags> <exptime> <bytes>
-			if len(fields) < 5 {
-				fmt.Fprintf(w, "CLIENT_ERROR bad command\r\n")
-				w.Flush()
+			// set <key> <flags> <exptime> <bytes> [noreply]
+			noreply := len(fields) == 6 && fields[5] == "noreply"
+			if len(fields) < 5 || len(fields) > 6 || (len(fields) == 6 && !noreply) {
+				m.ProtocolErrors.Add(1)
+				if !reply("CLIENT_ERROR bad command line format\r\n") {
+					return
+				}
 				continue
 			}
 			n, err := strconv.Atoi(fields[4])
-			if err != nil || n < 0 || n > MaxValueSize {
-				fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
-				w.Flush()
+			if err != nil || n < 0 {
+				// The payload length is unknowable; the stream cannot be
+				// resynchronized. Report and keep reading (as memcached does).
+				m.ProtocolErrors.Add(1)
+				if !reply("CLIENT_ERROR bad command line format\r\n") {
+					return
+				}
+				continue
+			}
+			if n > MaxValueSize {
+				// Consume the declared payload so framing stays intact, then
+				// reject. Oversize is a client error, reported even on noreply.
+				if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
+					return
+				}
+				m.StoreErrors.Add(1)
+				if !reply("SERVER_ERROR object too large for cache\r\n") {
+					return
+				}
 				continue
 			}
 			data := make([]byte, n+2) // payload + trailing \r\n
-			if _, err := readFull(r, data); err != nil {
+			if _, err := io.ReadFull(r, data); err != nil {
 				return
 			}
-			if err := s.store.Set([]byte(fields[1]), data[:n]); err != nil {
-				fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
-			} else {
-				fmt.Fprintf(w, "STORED\r\n")
+			if data[n] != '\r' || data[n+1] != '\n' {
+				// Corrupt framing is reported even under noreply: the
+				// connection is already suspect and silence would hide it.
+				m.ProtocolErrors.Add(1)
+				if !reply("CLIENT_ERROR bad data chunk\r\n") {
+					return
+				}
+				continue
 			}
-			w.Flush()
-		case "get":
+			m.CmdSet.Add(1)
+			err = s.store.Set([]byte(fields[1]), data[:n])
+			m.SetLatency.Observe(time.Since(start))
+			if err != nil {
+				m.StoreErrors.Add(1)
+			}
+			if noreply {
+				continue
+			}
+			var ok bool
+			switch {
+			case errors.Is(err, ErrValueTooLarge):
+				ok = reply("SERVER_ERROR object too large for cache\r\n")
+			case err != nil:
+				ok = reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
+			default:
+				ok = reply("STORED\r\n")
+			}
+			if !ok {
+				return
+			}
+		case "get", "gets":
+			if len(fields) < 2 {
+				m.ProtocolErrors.Add(1)
+				if !reply("ERROR\r\n") {
+					return
+				}
+				continue
+			}
 			for _, key := range fields[1:] {
+				m.CmdGet.Add(1)
 				if v, ok := s.store.Get([]byte(key)); ok {
+					m.GetHits.Add(1)
 					fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
 					w.Write(v)
 					w.WriteString("\r\n")
+				} else {
+					m.GetMisses.Add(1)
 				}
 			}
-			fmt.Fprintf(w, "END\r\n")
-			w.Flush()
+			w.WriteString("END\r\n")
+			m.GetLatency.Observe(time.Since(start))
+			if !flush() {
+				return
+			}
+		case "delete":
+			// delete <key> [noreply]
+			noreply := len(fields) == 3 && fields[2] == "noreply"
+			if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && !noreply) {
+				m.ProtocolErrors.Add(1)
+				if !reply("CLIENT_ERROR bad command line format\r\n") {
+					return
+				}
+				continue
+			}
+			m.CmdDelete.Add(1)
+			found, err := s.store.Delete([]byte(fields[1]))
+			m.DeleteLatency.Observe(time.Since(start))
+			if err != nil {
+				m.StoreErrors.Add(1)
+			} else if found {
+				m.DeleteHits.Add(1)
+			} else {
+				m.DeleteMisses.Add(1)
+			}
+			if noreply {
+				continue
+			}
+			var ok bool
+			switch {
+			case err != nil:
+				ok = reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
+			case found:
+				ok = reply("DELETED\r\n")
+			default:
+				ok = reply("NOT_FOUND\r\n")
+			}
+			if !ok {
+				return
+			}
+		case "stats":
+			m.CmdStats.Add(1)
+			s.writeStats(w, "\r\n")
+			w.WriteString("END\r\n")
+			if !flush() {
+				return
+			}
+		case "version":
+			m.CmdVersion.Add(1)
+			if !reply("VERSION " + Version + "\r\n") {
+				return
+			}
 		case "quit":
+			flush()
 			return
 		default:
-			fmt.Fprintf(w, "ERROR\r\n")
-			w.Flush()
+			m.ProtocolErrors.Add(1)
+			if !reply("ERROR\r\n") {
+				return
+			}
 		}
 	}
-}
-
-func readFull(r *bufio.Reader, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := r.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
 }

@@ -1,0 +1,189 @@
+package kvserver
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram with power-of-two nanosecond
+// buckets: bucket b counts observations whose nanosecond value has b
+// significant bits (upper bound 2^b - 1 ns). Forty buckets cover sub-ns to
+// ~9 minutes, far beyond any realistic request latency.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+	buckets [histogramBuckets]atomic.Uint64
+}
+
+const histogramBuckets = 40
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d.Nanoseconds())
+	}
+	b := bits.Len64(ns)
+	if b >= histogramBuckets {
+		b = histogramBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. Quantiles are
+// upper bounds of the containing power-of-two bucket, so they are conservative
+// (never under-report).
+type HistogramSnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histogramBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s := HistogramSnapshot{Count: total, Max: time.Duration(h.maxNS.Load())}
+	if total == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sumNS.Load() / total)
+	quantile := func(q float64) time.Duration {
+		target := uint64(q * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		seen := uint64(0)
+		for b, c := range counts {
+			seen += c
+			if seen >= target {
+				if b == 0 {
+					return 0
+				}
+				return time.Duration(uint64(1)<<b - 1)
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}
+
+// Metrics aggregates the server's per-operation counters, byte counters,
+// connection gauges and latency histograms. All fields are updated atomically
+// and may be read while the server is running; the `stats` protocol command
+// and Server.DumpStats render them in memcached STAT form.
+type Metrics struct {
+	start time.Time
+
+	CmdGet     atomic.Uint64 // get keys processed (per key, as memcached counts)
+	CmdSet     atomic.Uint64
+	CmdDelete  atomic.Uint64
+	CmdStats   atomic.Uint64
+	CmdVersion atomic.Uint64
+
+	GetHits      atomic.Uint64
+	GetMisses    atomic.Uint64
+	DeleteHits   atomic.Uint64
+	DeleteMisses atomic.Uint64
+
+	StoreErrors    atomic.Uint64 // engine-level Set/Delete failures
+	ProtocolErrors atomic.Uint64 // malformed commands, bad framing, unknown verbs
+
+	BytesRead    atomic.Uint64
+	BytesWritten atomic.Uint64
+
+	CurrConnections     atomic.Int64
+	TotalConnections    atomic.Uint64
+	RejectedConnections atomic.Uint64
+
+	GetLatency    Histogram
+	SetLatency    Histogram
+	DeleteLatency Histogram
+}
+
+// writeTo renders the metrics as "STAT <name> <value>" lines terminated by
+// eol (the protocol uses "\r\n", console dumps "\n").
+func (m *Metrics) writeTo(w io.Writer, eol string) {
+	stat := func(k string, v interface{}) { fmt.Fprintf(w, "STAT %s %v%s", k, v, eol) }
+	if !m.start.IsZero() {
+		stat("uptime", int64(time.Since(m.start).Seconds()))
+	}
+	stat("curr_connections", m.CurrConnections.Load())
+	stat("total_connections", m.TotalConnections.Load())
+	stat("rejected_connections", m.RejectedConnections.Load())
+	stat("cmd_get", m.CmdGet.Load())
+	stat("cmd_set", m.CmdSet.Load())
+	stat("cmd_delete", m.CmdDelete.Load())
+	stat("cmd_stats", m.CmdStats.Load())
+	stat("cmd_version", m.CmdVersion.Load())
+	stat("get_hits", m.GetHits.Load())
+	stat("get_misses", m.GetMisses.Load())
+	stat("delete_hits", m.DeleteHits.Load())
+	stat("delete_misses", m.DeleteMisses.Load())
+	stat("store_errors", m.StoreErrors.Load())
+	stat("protocol_errors", m.ProtocolErrors.Load())
+	stat("bytes_read", m.BytesRead.Load())
+	stat("bytes_written", m.BytesWritten.Load())
+	hist := func(name string, h *Histogram) {
+		s := h.Snapshot()
+		stat(name+"_count", s.Count)
+		stat(name+"_mean_us", microseconds(s.Mean))
+		stat(name+"_p50_us", microseconds(s.P50))
+		stat(name+"_p95_us", microseconds(s.P95))
+		stat(name+"_p99_us", microseconds(s.P99))
+		stat(name+"_max_us", microseconds(s.Max))
+	}
+	hist("get_latency", &m.GetLatency)
+	hist("set_latency", &m.SetLatency)
+	hist("delete_latency", &m.DeleteLatency)
+}
+
+func microseconds(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// countingReader/countingWriter meter the raw bytes moving through a
+// connection, beneath the bufio layers.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
