@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"fptree/internal/crashtest"
 	"fptree/internal/scm"
 	"fptree/internal/stx"
 )
@@ -88,23 +89,24 @@ func TestCrashTornRecovery(t *testing.T) {
 		// Crash mid-operation with torn lines.
 		pool.FailAfterFlushes(int64(rng.Intn(12) + 1))
 		var inflight uint64
-		func() {
-			defer func() {
-				if r := recover(); r != nil && r != scm.ErrInjectedCrash {
-					panic(r)
-				}
-			}()
+		crashed, opErr := crashtest.Crashes(func() error {
 			for k := uint64(10_000); ; k++ {
 				inflight = k
 				if err := tr.Insert(k, k); err != nil {
-					t.Fatal(err)
+					return err
 				}
 				acked[k] = k
 			}
-		}()
+		})
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
+		if !crashed {
+			t.Fatal("injected crash never fired")
+		}
 		delete(acked, inflight)
 		pool.FailAfterFlushes(-1)
-		pool.CrashTorn(rng)
+		pool.CrashTornSeed(31_000 + int64(trial))
 		tr2, err := Open(pool)
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fptree/internal/crashtest"
 	"fptree/internal/scm"
 )
 
@@ -414,8 +415,11 @@ func testCrashOps(t *testing.T, cfg Config, mkOp func(*Tree, *rand.Rand, map[uin
 	for op := 0; op < 120; op++ {
 		key, fn := mkOp(tr, rng, acked)
 		pool.FailAfterFlushes(step)
-		crashed := runCrashing(t, fn)
+		crashed, opErr := crashtest.Crashes(fn)
 		pool.FailAfterFlushes(-1)
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
 		if !crashed {
 			acked[key] = key * 7
 			step = 1
@@ -469,11 +473,14 @@ func testCrashDeletes(t *testing.T, cfg Config) {
 		}
 		_ = rng
 		pool.FailAfterFlushes(step)
-		crashed := runCrashing(t, func() error {
+		crashed, opErr := crashtest.Crashes(func() error {
 			_, err := tr.Delete(key)
 			return err
 		})
 		pool.FailAfterFlushes(-1)
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
 		if !crashed {
 			delete(live, key)
 			step = 1
@@ -506,22 +513,6 @@ func testCrashDeletes(t *testing.T, cfg Config) {
 		}
 		op--
 	}
-}
-
-func runCrashing(t *testing.T, fn func() error) (crashed bool) {
-	t.Helper()
-	defer func() {
-		if r := recover(); r != nil {
-			if r != scm.ErrInjectedCrash {
-				panic(r)
-			}
-			crashed = true
-		}
-	}()
-	if err := fn(); err != nil {
-		t.Fatal(err)
-	}
-	return false
 }
 
 // TestQuickAgainstOracle drives random op sequences against a map oracle.

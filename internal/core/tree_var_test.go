@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"fptree/internal/crashtest"
 )
 
 func newVarTree(t *testing.T, cfg Config) *VarTree {
@@ -263,8 +265,11 @@ func TestVarCrashAtEveryFlush(t *testing.T) {
 					}
 				}
 				pool.FailAfterFlushes(step)
-				crashed := runCrashing(t, fn)
+				crashed, opErr := crashtest.Crashes(fn)
 				pool.FailAfterFlushes(-1)
+				if opErr != nil {
+					t.Fatal(opErr)
+				}
 				if !crashed {
 					switch mode {
 					case 2:

@@ -1,0 +1,215 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fptree/internal/htm"
+)
+
+// ConcurrentOptions tunes a concurrent-history check.
+type ConcurrentOptions struct {
+	Workers      int // concurrent goroutines (default 4)
+	OpsPerWorker int // operations each performs (default 2000)
+	Seed         int64
+	SharedKeys   int // contended read-modify-write counter slots (default 4)
+	MaxRetries   int // SpecMutex abort budget before fallback (default htm.DefaultMaxRetries)
+	// ForceAbort, when non-nil, is installed as the SpecMutex abort schedule
+	// so the mix of optimistic and fallback executions is under test control
+	// (e.g. func(a int) bool { return a < 3 } kills every section's first
+	// three optimistic attempts).
+	ForceAbort func(attempt int) bool
+}
+
+// ConcurrentStats reports what the speculative machinery did during a run —
+// tests assert on it to prove the intended schedule actually executed.
+type ConcurrentStats struct {
+	Aborts, Restarts, Fallbacks uint64
+	Increments                  uint64 // committed shared-counter increments
+}
+
+// histMult packs a shared slot's counter as value = seq*histMult + slot, so
+// any torn read mixing two slots' bytes, or a half-applied write, decodes to
+// a slot mismatch.
+const histMult = 1 << 20
+
+// ConcurrentHistory drives a mixed workload against a thread-safe tree:
+// each worker mutates a private key range (verified afterwards against its
+// local model — any cross-worker interference or torn write breaks exact
+// equality) and increments shared counter slots under an htm.SpecMutex with
+// the requested forced-abort schedule, taking a per-slot version lock for
+// the read-modify-write. Readers run the optimistic version-lock protocol
+// and fail on torn values. After the run, every slot's value must equal its
+// committed increment count exactly — a lost update leaves it short, a
+// doubled one leaves it long.
+func ConcurrentHistory(tb testing.TB, t Fixed, opts ConcurrentOptions) ConcurrentStats {
+	tb.Helper()
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.OpsPerWorker <= 0 {
+		opts.OpsPerWorker = 2000
+	}
+	if opts.SharedKeys <= 0 {
+		opts.SharedKeys = 4
+	}
+	mu := &htm.SpecMutex{MaxRetries: opts.MaxRetries, ForceAbort: opts.ForceAbort}
+	locks := make([]htm.VersionLock, opts.SharedKeys)
+	started := make([]atomic.Uint64, opts.SharedKeys)
+	committed := make([]atomic.Uint64, opts.SharedKeys)
+
+	sharedKey := func(slot int) uint64 { return uint64(slot) + 1 }
+	privKey := func(w, i int) uint64 { return uint64(w+1)<<32 | uint64(i) }
+
+	for slot := 0; slot < opts.SharedKeys; slot++ {
+		if err := t.Insert(sharedKey(slot), uint64(slot)); err != nil {
+			tb.Fatalf("concurrent(seed=%d): seed slot %d: %v", opts.Seed, slot, err)
+		}
+	}
+
+	increment := func(slot int) error {
+		k := sharedKey(slot)
+		started[slot].Add(1)
+		g := mu.Acquire()
+		for {
+			lk := &locks[slot]
+			lk.Lock()
+			if g.MustAbort() {
+				// Forced abort: the emulated transaction dies before its
+				// writes become visible; release the slot untouched first
+				// (Abort may block waiting out a fallback holder).
+				lk.UnlockNoBump()
+				g.Abort()
+				continue
+			}
+			v, ok := t.Find(k)
+			if !ok {
+				lk.UnlockNoBump()
+				g.Release()
+				return fmt.Errorf("shared slot %d vanished", slot)
+			}
+			if v%histMult != uint64(slot) {
+				lk.UnlockNoBump()
+				g.Release()
+				return fmt.Errorf("torn RMW read on slot %d: value %#x", slot, v)
+			}
+			if _, err := t.Update(k, v+histMult); err != nil {
+				lk.UnlockNoBump()
+				g.Release()
+				return fmt.Errorf("slot %d update: %v", slot, err)
+			}
+			lk.Unlock()
+			g.Release()
+			committed[slot].Add(1)
+			return nil
+		}
+	}
+
+	readShared := func(slot int) error {
+		k := sharedKey(slot)
+		for {
+			ver := locks[slot].ReadBegin()
+			v, ok := t.Find(k)
+			if !locks[slot].ReadValidate(ver) {
+				continue // overlapped a writer; retry, as a real reader would
+			}
+			if !ok {
+				return fmt.Errorf("shared slot %d missing", slot)
+			}
+			if v%histMult != uint64(slot) {
+				return fmt.Errorf("torn read on slot %d: value %#x", slot, v)
+			}
+			if seq := v / histMult; seq > started[slot].Load() {
+				return fmt.Errorf("slot %d counter %d exceeds %d started increments", slot, seq, started[slot].Load())
+			}
+			return nil
+		}
+	}
+
+	models := make([]map[uint64]uint64, opts.Workers)
+	errs := make(chan error, opts.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		models[w] = map[uint64]uint64{}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed ^ int64(w+1)*0x9E3779B9))
+			model := models[w]
+			for i := 0; i < opts.OpsPerWorker; i++ {
+				switch rng.Intn(8) {
+				case 0, 1: // shared increment
+					if err := increment(rng.Intn(opts.SharedKeys)); err != nil {
+						errs <- fmt.Errorf("worker %d op %d: %v", w, i, err)
+						return
+					}
+				case 2: // shared optimistic read
+					if err := readShared(rng.Intn(opts.SharedKeys)); err != nil {
+						errs <- fmt.Errorf("worker %d op %d: %v", w, i, err)
+						return
+					}
+				default: // private-range mutation or lookup
+					k := privKey(w, rng.Intn(200))
+					switch want, exists := model[k]; {
+					case rng.Intn(4) == 0 && exists:
+						if _, err := t.Delete(k); err != nil {
+							errs <- fmt.Errorf("worker %d op %d: delete(%#x): %v", w, i, k, err)
+							return
+						}
+						delete(model, k)
+					case rng.Intn(3) == 0:
+						v, ok := t.Find(k)
+						if ok != exists || (ok && v != want) {
+							errs <- fmt.Errorf("worker %d op %d: find(%#x) = %d,%v want %d,%v", w, i, k, v, ok, want, exists)
+							return
+						}
+					case exists:
+						v := rng.Uint64()
+						if _, err := t.Update(k, v); err != nil {
+							errs <- fmt.Errorf("worker %d op %d: update(%#x): %v", w, i, k, err)
+							return
+						}
+						model[k] = v
+					default:
+						v := rng.Uint64()
+						if err := t.Insert(k, v); err != nil {
+							errs <- fmt.Errorf("worker %d op %d: insert(%#x): %v", w, i, k, err)
+							return
+						}
+						model[k] = v
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		tb.Fatalf("concurrent(seed=%d): %v", opts.Seed, err)
+	}
+
+	var stats ConcurrentStats
+	for slot := 0; slot < opts.SharedKeys; slot++ {
+		n := committed[slot].Load()
+		stats.Increments += n
+		want := n*histMult + uint64(slot)
+		if v, ok := t.Find(sharedKey(slot)); !ok || v != want {
+			tb.Fatalf("concurrent(seed=%d): slot %d final value %#x,%v want %#x (%d committed increments — lost or doubled update)",
+				opts.Seed, slot, v, ok, want, n)
+		}
+	}
+	for w := range models {
+		for k, want := range models[w] {
+			if v, ok := t.Find(k); !ok || v != want {
+				tb.Fatalf("concurrent(seed=%d): worker %d key %#x = %d,%v want %d", opts.Seed, w, k, v, ok, want)
+			}
+		}
+	}
+	stats.Aborts = mu.Stats.Aborts.Load()
+	stats.Restarts = mu.Stats.Restarts.Load()
+	stats.Fallbacks = mu.Stats.Fallbacks.Load()
+	return stats
+}

@@ -1,0 +1,123 @@
+package crashtest
+
+// Self-tests of the harness machinery itself: the enumeration must visit
+// every primitive exactly once per kind, distinguish the before-flush and
+// after-flush crash states, and derive torn seeds deterministically.
+
+import (
+	"testing"
+
+	"fptree/internal/scm"
+)
+
+// rawCells allocates a scratch block and returns a 3-cell write protocol:
+// each completed cell is individually persisted, so the op has exactly three
+// persist points and three fence points.
+func rawCells(t *testing.T) (*scm.Pool, uint64, func() error) {
+	t.Helper()
+	pool := scm.NewPool(1<<20, scm.LatencyConfig{CacheBytes: -1})
+	ptr, err := pool.AllocRoot(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ptr.Offset
+	op := func() error {
+		for i := uint64(0); i < 3; i++ {
+			pool.WriteU64(base+8*i, i+1)
+			pool.Persist(base+8*i, 8)
+		}
+		return nil
+	}
+	return pool, base, op
+}
+
+func TestEnumerateVisitsEveryPersist(t *testing.T) {
+	pool, base, op := rawCells(t)
+	var steps []int64
+	n := EveryPersist(t, pool, op, func(pt Point) error {
+		steps = append(steps, pt.Step)
+		// Crash fires BEFORE the Step-th flush: exactly the first Step-1
+		// cells are durable.
+		for i := int64(0); i < 3; i++ {
+			got := pool.ReadU64(base + 8*uint64(i))
+			want := uint64(0)
+			if i < pt.Step-1 {
+				want = uint64(i) + 1
+			}
+			if got != want {
+				t.Fatalf("%v: cell %d = %d, want %d", pt, i, got, want)
+			}
+		}
+		return nil
+	})
+	if n != 3 {
+		t.Fatalf("persist enumeration visited %d points, want 3", n)
+	}
+	for i, s := range steps {
+		if s != int64(i)+1 {
+			t.Fatalf("steps = %v, want 1,2,3", steps)
+		}
+	}
+}
+
+func TestEnumerateVisitsEveryFence(t *testing.T) {
+	pool, base, op := rawCells(t)
+	n := EveryFence(t, pool, op, func(pt Point) error {
+		// Fence crash fires AFTER the Step-th flush: the first Step cells
+		// are durable.
+		for i := int64(0); i < 3; i++ {
+			got := pool.ReadU64(base + 8*uint64(i))
+			want := uint64(0)
+			if i < pt.Step {
+				want = uint64(i) + 1
+			}
+			if got != want {
+				t.Fatalf("%v: cell %d = %d, want %d", pt, i, got, want)
+			}
+		}
+		return nil
+	})
+	if n != 3 {
+		t.Fatalf("fence enumeration visited %d points, want 3", n)
+	}
+}
+
+func TestEnumerateBothKindsSum(t *testing.T) {
+	pool, _, op := rawCells(t)
+	n := Enumerate(t, pool, Options{Persists: true, Fences: true}, op,
+		func(pt Point) error { return nil })
+	if n != 6 {
+		t.Fatalf("combined enumeration visited %d points, want 6", n)
+	}
+}
+
+func TestTornSeedDerivation(t *testing.T) {
+	if tornSeed(1, "persist", 3) != tornSeed(1, "persist", 3) {
+		t.Fatal("tornSeed is not deterministic")
+	}
+	seen := map[int64]bool{}
+	for step := int64(1); step <= 100; step++ {
+		seen[tornSeed(7, "persist", step)] = true
+		seen[tornSeed(7, "fence", step)] = true
+	}
+	if len(seen) != 200 {
+		t.Fatalf("tornSeed collided: %d distinct seeds from 200 points", len(seen))
+	}
+}
+
+func TestCrashesFiltersOnlyInjectedCrash(t *testing.T) {
+	crashed, err := Crashes(func() error { return nil })
+	if crashed || err != nil {
+		t.Fatalf("clean run reported crashed=%v err=%v", crashed, err)
+	}
+	crashed, err = Crashes(func() error { panic(scm.ErrInjectedCrash) })
+	if !crashed || err != nil {
+		t.Fatalf("injected crash reported crashed=%v err=%v", crashed, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	Crashes(func() error { panic("unrelated") })
+}

@@ -106,6 +106,14 @@ type SpecMutex struct {
 	MaxRetries int
 	Stats      Stats
 
+	// ForceAbort, when non-nil, is an abort-schedule hook for verification
+	// harnesses: optimistic attempts consult it via Guard.MustAbort and the
+	// caller aborts whenever it returns true for the current attempt number.
+	// Fallback (serialized) attempts never consult it, so a schedule that
+	// always returns true still terminates — it just drives every section
+	// through the fallback path. Must be safe for concurrent calls.
+	ForceAbort func(attempt int) bool
+
 	mu     sync.Mutex
 	serial atomic.Bool // true while a fallback holder is inside
 }
@@ -170,6 +178,15 @@ func (g *Guard) Release() {
 // Serialized reports whether this attempt runs under the global fallback
 // lock. Sections running serialized cannot conflict and may skip validation.
 func (g *Guard) Serialized() bool { return g.fallback }
+
+// MustAbort reports whether the mutex's ForceAbort schedule demands that this
+// optimistic attempt abort — the emulation hook for the spurious/capacity
+// aborts real TSX suffers, letting tests steer sections onto the fallback
+// path deterministically. Callers check it inside the critical section and
+// call Abort when it returns true. Always false on fallback attempts.
+func (g *Guard) MustAbort() bool {
+	return !g.fallback && g.m.ForceAbort != nil && g.m.ForceAbort(g.attempts)
+}
 
 func (m *SpecMutex) maxRetries() int {
 	if m.MaxRetries > 0 {

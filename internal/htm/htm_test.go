@@ -145,6 +145,47 @@ func TestSpecMutexFallbackAfterRetries(t *testing.T) {
 	g2.Release()
 }
 
+func TestSpecMutexForceAbortSchedule(t *testing.T) {
+	// A schedule that kills the first two optimistic attempts: the section
+	// must succeed on the third attempt, still optimistic.
+	m := &SpecMutex{MaxRetries: 5, ForceAbort: func(attempt int) bool { return attempt < 2 }}
+	g := m.Acquire()
+	aborts := 0
+	for g.MustAbort() {
+		aborts++
+		g.Abort()
+	}
+	if aborts != 2 {
+		t.Fatalf("forced aborts = %d, want 2", aborts)
+	}
+	if g.Serialized() {
+		t.Fatal("schedule should not have exhausted the retry budget")
+	}
+	g.Release()
+}
+
+func TestSpecMutexForceAbortAlwaysFallsBack(t *testing.T) {
+	// An always-abort schedule must terminate by driving the section onto
+	// the fallback path, where MustAbort is defined to be false.
+	m := &SpecMutex{MaxRetries: 2, ForceAbort: func(int) bool { return true }}
+	g := m.Acquire()
+	for g.MustAbort() {
+		g.Abort()
+	}
+	if !g.Serialized() {
+		t.Fatal("always-abort schedule should end serialized")
+	}
+	if m.Stats.Fallbacks.Load() != 1 {
+		t.Fatalf("fallbacks = %d", m.Stats.Fallbacks.Load())
+	}
+	g.Release()
+	if m.mu.TryLock() {
+		m.mu.Unlock()
+	} else {
+		t.Fatal("fallback lock leaked")
+	}
+}
+
 func TestSpecMutexSerializedExcludesOptimists(t *testing.T) {
 	m := &SpecMutex{MaxRetries: 0}
 	g := m.Acquire()

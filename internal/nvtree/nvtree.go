@@ -272,8 +272,39 @@ func open(pool *scm.Pool, mode, innerCap int) (*base, error) {
 		b.plnCap = 128
 	}
 	b.recoverLogs()
+	b.healTailBound()
 	b.rebuildInner()
 	return b, nil
+}
+
+// healTailBound repairs the one crash window in which a leaf is reachable
+// without its "+infinity" routing bound: firstLeaf publishes the initial
+// leaf through the head-cell allocation before the bound write persists, so
+// a crash in between recovers a linked leaf whose bound still reads zero.
+// Everywhere else the construction keeps the list's last leaf unbounded
+// (leaves are never removed and splits clamp the upper half), so re-stamping
+// the tail is idempotent and must run after micro-log replay settles the
+// list.
+func (b *base) healTailBound() {
+	h := b.head()
+	if h.IsNull() {
+		return
+	}
+	l := h.Offset
+	for {
+		next := b.leafNext(l)
+		if next.IsNull() {
+			break
+		}
+		l = next.Offset
+	}
+	if b.mode == modeFixed {
+		if b.leafBoundF(l) != infBound {
+			b.setLeafBoundF(l, infBound)
+		}
+	} else if b.pool.ReadU64(l+lOffBound+scm.PPtrSize) != ^uint64(0) {
+		b.setLeafBoundInfV(l)
+	}
 }
 
 // Pool returns the backing pool.
@@ -360,7 +391,11 @@ func (b *base) appendEntry(l uint64, flag uint64, fk uint64, vk []byte, valF uin
 		b.pool.Persist(off, 24)
 	} else {
 		b.pool.WriteU64(off+8+scm.PPtrSize, uint64(len(vk)))
-		b.pool.Persist(off+8+scm.PPtrSize, 8)
+		// One persist spanning flag..klen: the flag word at off has no other
+		// persist covering it in the var path (the fixed path's Persist(off,
+		// 24) does), and the count bump below must not commit an entry whose
+		// flag is still only in the cache.
+		b.pool.Persist(off, 8+scm.PPtrSize+8)
 		pk, err := b.pool.Alloc(off+8, uint64(len(vk)))
 		if err != nil {
 			return err

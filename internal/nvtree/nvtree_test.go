@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fptree/internal/crashtest"
 	"fptree/internal/scm"
 )
 
@@ -194,21 +195,13 @@ func TestCrashAtEveryFlush(t *testing.T) {
 			continue
 		}
 		pool.FailAfterFlushes(step)
-		crashed := func() (c bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != scm.ErrInjectedCrash {
-						panic(r)
-					}
-					c = true
-				}
-			}()
-			if err := tr.Insert(k, k+1); err != nil {
-				t.Fatal(err)
-			}
-			return false
-		}()
+		crashed, opErr := crashtest.Crashes(func() error {
+			return tr.Insert(k, k+1)
+		})
 		pool.FailAfterFlushes(-1)
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
 		if !crashed {
 			acked[k] = k + 1
 			step = 1
@@ -218,6 +211,9 @@ func TestCrashAtEveryFlush(t *testing.T) {
 		pool.Crash()
 		tr, err = Open(pool, 8)
 		if err != nil {
+			t.Fatalf("op %d step %d: %v", op, step, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("op %d step %d: %v", op, step, err)
 		}
 		for ak, av := range acked {

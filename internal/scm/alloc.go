@@ -22,6 +22,7 @@ const (
 	offIntentSz  = 64 // requested size
 	offIntentBlk = 72 // staged block offset
 	offArenaID   = 80 // persistent arena identity (PPtrs embed it)
+	offIntentSum = 88 // checksum over (op, ref, sz, blk): torn-stage detector
 	offFreeHeads = 256
 	numClasses   = (headerSize - offFreeHeads) / 8 // 480 classes → max 30 KiB reusable blocks
 	maxClassSize = numClasses * LineSize
@@ -35,6 +36,55 @@ const (
 type allocState struct {
 	mu         sync.Mutex
 	largeFrees uint64 // blocks too large for a free list, dropped (documented leak)
+}
+
+// intentSum mixes the four intent words into a checksum. The record spans two
+// cache lines, so a torn crash during the staging persist can commit any
+// per-line word prefix — in particular the op word alone, which would
+// otherwise resurrect the *previous* operation's staged block and roll back
+// memory the application still owns. Recovery discards any record whose
+// stored sum does not match; completion rewrites the sum over op=none so a
+// torn op-only commit of a later stage can never validate against leftovers.
+func intentSum(op, ref, sz, blk uint64) uint64 {
+	x := op ^ 0x9E3779B97F4A7C15
+	for _, v := range [...]uint64{ref, sz, blk} {
+		x ^= v
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 31
+	}
+	return x
+}
+
+// stageIntent durably records a full intent. One persist: both header lines.
+func (p *Pool) stageIntent(op, refOff, size, blk uint64) {
+	p.WriteU64(offIntentOp, op)
+	p.WriteU64(offIntentRef, refOff)
+	p.WriteU64(offIntentSz, size)
+	p.WriteU64(offIntentBlk, blk)
+	p.WriteU64(offIntentSum, intentSum(op, refOff, size, blk))
+	p.Persist(offIntentOp, offIntentSum+8-offIntentOp)
+}
+
+// stageIntentBlk updates the staged block of the current intent. blk and sum
+// share a line, so this is a single-line persist; a torn commit of blk
+// without sum fails validation, which is correct — at this point the free
+// list or bump pointer has not durably changed yet.
+func (p *Pool) stageIntentBlk(blk uint64) {
+	op := p.ReadU64(offIntentOp)
+	ref := p.ReadU64(offIntentRef)
+	sz := p.ReadU64(offIntentSz)
+	p.WriteU64(offIntentBlk, blk)
+	p.WriteU64(offIntentSum, intentSum(op, ref, sz, blk))
+	p.Persist(offIntentBlk, offIntentSum+8-offIntentBlk)
+}
+
+// clearIntent durably retires the current intent, re-binding the checksum to
+// op=none so the retired record can never be mistaken for a live one.
+func (p *Pool) clearIntent() {
+	p.WriteU64(offIntentOp, intentNone)
+	p.WriteU64(offIntentSum, intentSum(intentNone,
+		p.ReadU64(offIntentRef), p.ReadU64(offIntentSz), p.ReadU64(offIntentBlk)))
+	p.Persist(offIntentOp, offIntentSum+8-offIntentOp)
 }
 
 func (p *Pool) formatHeader() {
@@ -95,16 +145,11 @@ func (p *Pool) Alloc(refOff uint64, size uint64) (PPtr, error) {
 	defer p.alloc.mu.Unlock()
 
 	// Stage the intent.
-	p.WriteU64(offIntentOp, intentAlloc)
-	p.WriteU64(offIntentRef, refOff)
-	p.WriteU64(offIntentSz, size)
-	p.WriteU64(offIntentBlk, 0)
-	p.Persist(offIntentOp, 32)
+	p.stageIntent(intentAlloc, refOff, size, 0)
 
 	blk, err := p.carve(size)
 	if err != nil {
-		p.WriteU64(offIntentOp, intentNone)
-		p.Persist(offIntentOp, 8)
+		p.clearIntent()
 		return PPtr{}, err
 	}
 
@@ -115,8 +160,7 @@ func (p *Pool) Alloc(refOff uint64, size uint64) (PPtr, error) {
 	p.WritePPtr(refOff, ptr)
 	p.Persist(refOff, PPtrSize)
 
-	p.WriteU64(offIntentOp, intentNone)
-	p.Persist(offIntentOp, 8)
+	p.clearIntent()
 	p.stats.Allocs.Add(1)
 	return ptr, nil
 }
@@ -133,8 +177,7 @@ func (p *Pool) carve(size uint64) (uint64, error) {
 	if c >= 0 {
 		headOff := uint64(offFreeHeads + c*8)
 		if head := p.ReadU64(headOff); head != 0 {
-			p.WriteU64(offIntentBlk, head)
-			p.Persist(offIntentBlk, 8)
+			p.stageIntentBlk(head)
 			next := p.ReadU64(head) // free blocks store the next pointer in word 0
 			p.WriteU64(headOff, next)
 			p.Persist(headOff, 8)
@@ -146,8 +189,7 @@ func (p *Pool) carve(size uint64) (uint64, error) {
 	if bump+rs > uint64(len(p.mem)) {
 		return 0, ErrOutOfMemory
 	}
-	p.WriteU64(offIntentBlk, bump)
-	p.Persist(offIntentBlk, 8)
+	p.stageIntentBlk(bump)
 	p.WriteU64(offBump, bump+rs)
 	p.Persist(offBump, 8)
 	return bump, nil
@@ -181,18 +223,13 @@ func (p *Pool) Free(refOff uint64, size uint64) {
 	if blk.IsNull() {
 		return
 	}
-	p.WriteU64(offIntentOp, intentFree)
-	p.WriteU64(offIntentRef, refOff)
-	p.WriteU64(offIntentSz, size)
-	p.WriteU64(offIntentBlk, blk.Offset)
-	p.Persist(offIntentOp, 32)
+	p.stageIntent(intentFree, refOff, size, blk.Offset)
 
 	p.push(blk.Offset, size)
 
 	p.WritePPtr(refOff, PPtr{})
 	p.Persist(refOff, PPtrSize)
-	p.WriteU64(offIntentOp, intentNone)
-	p.Persist(offIntentOp, 8)
+	p.clearIntent()
 	p.stats.Frees.Add(1)
 }
 
@@ -231,14 +268,22 @@ func (p *Pool) Recover() {
 	refOff := p.ReadU64(offIntentRef)
 	size := p.ReadU64(offIntentSz)
 	blk := p.ReadU64(offIntentBlk)
+	if p.ReadU64(offIntentSum) != intentSum(op, refOff, size, blk) {
+		// Torn staging persist: some words of the record are from an older,
+		// already-retired operation. The crash hit before any list or bump
+		// mutation, so the correct recovery is to do nothing at all —
+		// rolling back the stale blk would push live memory onto the free
+		// list (double ownership).
+		p.clearIntent()
+		return
+	}
 	switch op {
 	case intentAlloc:
 		p.recoverAlloc(refOff, size, blk)
 	case intentFree:
 		p.recoverFree(refOff, size, blk)
 	}
-	p.WriteU64(offIntentOp, intentNone)
-	p.Persist(offIntentOp, 8)
+	p.clearIntent()
 }
 
 func (p *Pool) recoverAlloc(refOff, size, blk uint64) {

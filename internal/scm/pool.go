@@ -32,8 +32,11 @@ type Pool struct {
 	alloc allocState // persistent allocator bookkeeping (volatile part)
 
 	// failFlushes < 0 disables injection; otherwise it is decremented on each
-	// Persist and the crash fires when it reaches zero.
+	// Persist and the crash fires when it reaches zero. failFences is the
+	// same fail-point at fence granularity: it counts explicit Fence calls
+	// and the fence every Persist issues after its write-backs.
 	failFlushes atomic.Int64
+	failFences  atomic.Int64
 	crashed     atomic.Bool
 }
 
@@ -63,6 +66,7 @@ func NewPool(capacity int64, cfg LatencyConfig) *Pool {
 		cache:   newCacheSim(cfg.CacheBytes),
 	}
 	p.failFlushes.Store(-1)
+	p.failFences.Store(-1)
 	p.formatHeader()
 	return p
 }
@@ -246,12 +250,16 @@ func (p *Pool) Persist(off, size uint64) {
 	for l := first; l <= last; l++ {
 		p.flushLine(l)
 	}
+	p.maybeInjectFenceCrash()
 	p.stats.Fences.Add(1)
 	p.stats.BytesFlushed.Add(size)
 }
 
 // Fence orders prior flushes without flushing anything itself.
-func (p *Pool) Fence() { p.stats.Fences.Add(1) }
+func (p *Pool) Fence() {
+	p.maybeInjectFenceCrash()
+	p.stats.Fences.Add(1)
+}
 
 func (p *Pool) flushLine(l uint64) {
 	word := &p.dirty[l/64]
@@ -278,12 +286,31 @@ func (p *Pool) FailAfterFlushes(n int64) {
 	p.failFlushes.Store(n)
 }
 
+// FailAfterFences arms the complementary fail-point at fence granularity: the
+// n-th subsequent fence — an explicit Fence call or the fence each Persist
+// issues after its write-backs — panics with ErrInjectedCrash. Unlike
+// FailAfterFlushes, the lines covered by the interrupted Persist HAVE reached
+// the durable view when the crash fires, so enumerating both fail-points
+// exposes the states immediately before and immediately after every
+// persistence primitive. Pass a negative n to disarm.
+func (p *Pool) FailAfterFences(n int64) {
+	p.failFences.Store(n)
+}
+
 func (p *Pool) maybeInjectCrash() {
-	if p.failFlushes.Load() < 0 {
+	p.inject(&p.failFlushes)
+}
+
+func (p *Pool) maybeInjectFenceCrash() {
+	p.inject(&p.failFences)
+}
+
+func (p *Pool) inject(counter *atomic.Int64) {
+	if counter.Load() < 0 {
 		return
 	}
-	if p.failFlushes.Add(-1) <= 0 {
-		p.failFlushes.Store(-1)
+	if counter.Add(-1) <= 0 {
+		counter.Store(-1)
 		p.crashed.Store(true)
 		panic(ErrInjectedCrash)
 	}
@@ -321,11 +348,20 @@ func (p *Pool) Crash() {
 	p.crashed.Store(false)
 }
 
+// CrashTornSeed is CrashTorn with a self-contained RNG: the same seed applied
+// to the same dirty state always yields the same torn image, so a failing
+// enumeration reproduces exactly from its logged seed.
+func (p *Pool) CrashTornSeed(seed int64) {
+	p.CrashTorn(rand.New(rand.NewSource(seed)))
+}
+
 // CrashTorn behaves like Crash but, before reverting, commits a random prefix
 // of 8-byte words of each dirty line with probability ½ per line. This models
 // the hardware guarantee floor the paper assumes: stores become durable in
 // word units, in unspecified order, unless explicitly flushed. Recovery code
-// must tolerate any such state.
+// must tolerate any such state. Dirty lines are visited in address order, so
+// the outcome is a pure function of (rng stream, dirty state) — see
+// CrashTornSeed for the reproducible-seed variant.
 func (p *Pool) CrashTorn(rng *rand.Rand) {
 	for w := range p.dirty {
 		bits := p.dirty[w].Load()
@@ -379,6 +415,7 @@ func Load(path string, cfg LatencyConfig) (*Pool, error) {
 		cache:   newCacheSim(cfg.CacheBytes),
 	}
 	p.failFlushes.Store(-1)
+	p.failFences.Store(-1)
 	if got := binary.LittleEndian.Uint64(p.mem[offMagic:]); got != headerMagic {
 		return nil, fmt.Errorf("scm: %s: bad magic %#x", path, got)
 	}

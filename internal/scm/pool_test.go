@@ -213,127 +213,6 @@ func TestLargeAllocBumpOnly(t *testing.T) {
 	}
 }
 
-// crashEveryFlush drives fn repeatedly, injecting a crash at flush 1, 2, 3...
-// until fn completes without crashing, running verify after each recovery.
-func crashEveryFlush(t *testing.T, p *Pool, fn func() error, verify func(step int64)) {
-	t.Helper()
-	for step := int64(1); ; step++ {
-		p.FailAfterFlushes(step)
-		crashed := func() (crashed bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != ErrInjectedCrash {
-						panic(r)
-					}
-					crashed = true
-				}
-			}()
-			if err := fn(); err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
-			return false
-		}()
-		p.FailAfterFlushes(-1)
-		if !crashed {
-			return
-		}
-		p.Crash()
-		p.Recover()
-		verify(step)
-		if step > 10000 {
-			t.Fatal("crash injection never terminated")
-		}
-	}
-}
-
-func TestAllocCrashAtEveryFlushNeverLeaks(t *testing.T) {
-	// After every possible crash point inside Alloc, recovery must leave the
-	// arena in a state where the block is either owned by the ref cell or
-	// back on the free list — provable here by exhausting the arena twice.
-	p := newTestPool(t)
-	base := refCells(t, p)
-	refOff := base
-	// Pre-populate one free-listed block so both carve paths are exercised.
-	warm := base + 16
-	if _, err := p.Alloc(warm, 192); err != nil {
-		t.Fatal(err)
-	}
-	p.Free(warm, 192)
-
-	crashEveryFlush(t, p,
-		func() error {
-			_, err := p.Alloc(refOff, 192)
-			return err
-		},
-		func(step int64) {
-			ref := p.ReadPPtr(refOff)
-			if !ref.IsNull() {
-				// Completed before the crash point mattered: free it so the
-				// next iteration starts from the same state.
-				p.Free(refOff, 192)
-			}
-			// Invariant: allocating twice yields two distinct blocks and the
-			// free list stays sane.
-			r1, r2 := base+32, base+48
-			a, err := p.Alloc(r1, 192)
-			if err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
-			b, err := p.Alloc(r2, 192)
-			if err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
-			if a.Offset == b.Offset {
-				t.Fatalf("step %d: double allocation of %#x", step, a.Offset)
-			}
-			p.Free(r1, 192)
-			p.Free(r2, 192)
-		})
-}
-
-func TestFreeCrashAtEveryFlushIsExactlyOnce(t *testing.T) {
-	p := newTestPool(t)
-	base := refCells(t, p)
-	refOff := base
-	if _, err := p.Alloc(refOff, 256); err != nil {
-		t.Fatal(err)
-	}
-	crashEveryFlush(t, p,
-		func() error {
-			if p.ReadPPtr(refOff).IsNull() {
-				// Free completed in an earlier iteration: re-allocate so the
-				// operation under test runs again.
-				if _, err := p.Alloc(refOff, 256); err != nil {
-					return err
-				}
-			}
-			p.Free(refOff, 256)
-			return nil
-		},
-		func(step int64) {
-			// After recovery the ref is either intact (free rolled forward on
-			// next run) or null. Either way a fresh alloc/free pair must work
-			// and never hand out the same block twice concurrently.
-			r1, r2 := base+32, base+48
-			a, err := p.Alloc(r1, 256)
-			if err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
-			b, err := p.Alloc(r2, 256)
-			if err != nil {
-				t.Fatalf("step %d: %v", step, err)
-			}
-			if a.Offset == b.Offset {
-				t.Fatalf("step %d: double allocation", step)
-			}
-			if a.Offset == p.ReadPPtr(refOff).Offset || b.Offset == p.ReadPPtr(refOff).Offset {
-				t.Fatalf("step %d: allocator handed out a block still owned by ref", step)
-			}
-			p.Free(r1, 256)
-			p.Free(r2, 256)
-		})
-}
-
 func TestSaveLoadRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "arena.img")

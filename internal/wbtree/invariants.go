@@ -1,0 +1,196 @@
+package wbtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/bits"
+)
+
+// CheckInvariants verifies the structural properties every recovered state of
+// the wBTree must satisfy:
+//
+//   - the root, split and delete micro-logs are quiescent (all-null),
+//   - every node's bitmap has the slot-array-valid bit and only entry bits
+//     below its capacity,
+//   - the slot array covers every valid entry exactly once (it may carry
+//     stale extras — the superset protocol allows them) in strictly
+//     ascending key order,
+//   - keys lie inside the routing interval (lo, hi] handed down by parent
+//     separators; "+infinity" separators appear only in inner nodes, at most
+//     once, and only as the last slot,
+//   - all leaves sit at the same depth,
+//   - the cached size equals the total number of valid leaf entries.
+//
+// It returns nil when all hold, or an error naming the first violation.
+func (b *base) CheckInvariants() error {
+	if b.pool.ReadU64(b.meta+mOffMagic) != metaMagic {
+		return fmt.Errorf("wbtree: bad metadata magic")
+	}
+	for i := 0; i < 3; i++ {
+		if !b.splitLog().p(i).IsNull() {
+			return fmt.Errorf("wbtree: split log slot %d not reset", i)
+		}
+		if !b.rootLog().p(i).IsNull() {
+			return fmt.Errorf("wbtree: root log slot %d not reset", i)
+		}
+		if !b.delLog().p(i).IsNull() {
+			return fmt.Errorf("wbtree: delete log slot %d not reset", i)
+		}
+	}
+	root := b.rootOff()
+	if root == 0 {
+		if b.size != 0 {
+			return fmt.Errorf("wbtree: empty tree but cached size %d", b.size)
+		}
+		return nil
+	}
+	total, leafDepth := 0, -1
+	err := b.checkNode(root, 0, ivBound{}, ivBound{inf: true}, &total, &leafDepth)
+	if err != nil {
+		return err
+	}
+	if b.size != total {
+		return fmt.Errorf("wbtree: cached size %d != %d valid leaf entries", b.size, total)
+	}
+	return nil
+}
+
+// ivBound is one end of a routing interval: a key, or -/+infinity.
+type ivBound struct {
+	set bool // false = -infinity (only ever as a lower bound)
+	inf bool // true = +infinity (only ever as an upper bound)
+	fk  uint64
+	vk  []byte
+}
+
+// cmpBound three-way-compares entry e's key with the bound.
+func (b *base) cmpBound(n uint64, e int, bd ivBound) int {
+	if b.entryIsInf(n, e) {
+		if bd.inf {
+			return 0
+		}
+		return 1
+	}
+	if bd.inf {
+		return -1
+	}
+	if b.mode == modeFixed {
+		k := b.entryKeyFixed(n, e)
+		switch {
+		case k < bd.fk:
+			return -1
+		case k > bd.fk:
+			return 1
+		}
+		return 0
+	}
+	return bytes.Compare(b.entryKeyVar(n, e), bd.vk)
+}
+
+func (b *base) boundOf(n uint64, e int) ivBound {
+	if b.entryIsInf(n, e) {
+		return ivBound{inf: true}
+	}
+	if b.mode == modeFixed {
+		return ivBound{set: true, fk: b.entryKeyFixed(n, e)}
+	}
+	return ivBound{set: true, vk: b.entryKeyVar(n, e)}
+}
+
+func (b *base) checkNode(n uint64, depth int, lo, hi ivBound, total, leafDepth *int) error {
+	leaf := b.nIsLeaf(n)
+	capN := b.capOf(leaf)
+	bm := b.nBitmap(n)
+	if bm&slotValidBit == 0 {
+		return fmt.Errorf("wbtree: node %#x missing slot-valid bit", n)
+	}
+	valid := bm &^ slotValidBit
+	if high := valid >> capN; high != 0 {
+		return fmt.Errorf("wbtree: node %#x bitmap %#x has entries beyond capacity %d", n, valid, capN)
+	}
+	cnt := bits.OnesCount64(valid)
+
+	// The slot array may be a superset, but filtered through the bitmap it
+	// must enumerate each valid entry exactly once, in ascending key order.
+	var sl [64]byte
+	b.pool.ReadInto(n, sl[:])
+	listed := int(sl[0])
+	if listed > 63 {
+		return fmt.Errorf("wbtree: node %#x slot count %d out of range", n, listed)
+	}
+	var order []int
+	var seen uint64
+	for i := 0; i < listed; i++ {
+		e := int(sl[1+i])
+		if e >= capN {
+			return fmt.Errorf("wbtree: node %#x slot %d names entry %d beyond capacity %d", n, i, e, capN)
+		}
+		if valid&(1<<e) == 0 {
+			continue // stale superset slot
+		}
+		if seen&(1<<e) != 0 {
+			return fmt.Errorf("wbtree: node %#x slot array lists entry %d twice", n, e)
+		}
+		seen |= 1 << e
+		order = append(order, e)
+	}
+	if len(order) != cnt {
+		return fmt.Errorf("wbtree: node %#x slot array covers %d of %d valid entries", n, len(order), cnt)
+	}
+	for i := 1; i < len(order); i++ {
+		if b.cmpEntries(n, order[i-1], order[i]) >= 0 {
+			return fmt.Errorf("wbtree: node %#x slots %d,%d out of key order", n, i-1, i)
+		}
+	}
+	for i, e := range order {
+		if b.entryIsInf(n, e) {
+			// The +infinity separator is a clamp marker standing for "up to
+			// the parent's bound": legal only as the last slot of an inner
+			// node, and exempt from the upper-bound check.
+			if leaf {
+				return fmt.Errorf("wbtree: leaf %#x entry %d carries the +infinity separator", n, e)
+			}
+			if i != len(order)-1 {
+				return fmt.Errorf("wbtree: node %#x +infinity separator at slot %d is not last", n, i)
+			}
+			continue
+		}
+		if lo.set && b.cmpBound(n, e, lo) <= 0 {
+			return fmt.Errorf("wbtree: node %#x entry %d at or below lower bound", n, e)
+		}
+		if b.cmpBound(n, e, hi) > 0 {
+			return fmt.Errorf("wbtree: node %#x entry %d above upper bound", n, e)
+		}
+	}
+
+	if leaf {
+		if *leafDepth < 0 {
+			*leafDepth = depth
+		} else if *leafDepth != depth {
+			return fmt.Errorf("wbtree: leaf %#x at depth %d, expected %d", n, depth, *leafDepth)
+		}
+		*total += cnt
+		return nil
+	}
+	if cnt == 0 {
+		return fmt.Errorf("wbtree: inner node %#x has no children", n)
+	}
+	childLo := lo
+	for i, e := range order {
+		child := b.entryVal(n, e)
+		if child == 0 {
+			return fmt.Errorf("wbtree: node %#x entry %d has null child", n, e)
+		}
+		childHi := b.boundOf(n, e)
+		if i == len(order)-1 {
+			// The last child absorbs clamped overflow: its effective upper
+			// bound is the parent's, not its own separator.
+			childHi = hi
+		}
+		if err := b.checkNode(child, depth+1, childLo, childHi, total, leafDepth); err != nil {
+			return err
+		}
+		childLo = b.boundOf(n, e)
+	}
+	return nil
+}

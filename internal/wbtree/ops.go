@@ -497,6 +497,18 @@ func (b *base) doScan(fromFK uint64, fromVK []byte, emit func(n uint64, e int) b
 			if c < 0 {
 				continue
 			}
+			// A clamp-target leaf can hold keys above the separator that led
+			// here. Those belong to a later round — the next descent clamps
+			// back into this leaf — so emitting them now would duplicate them.
+			if haveUB {
+				if b.mode == modeFixed {
+					if b.entryKeyFixed(n, e) > ubFK {
+						break
+					}
+				} else if string(b.entryKeyVar(n, e)) > string(ubVK) {
+					break
+				}
+			}
 			if !emit(n, e) {
 				return
 			}
@@ -514,23 +526,33 @@ func (b *base) doScan(fromFK uint64, fromVK []byte, emit func(n uint64, e int) b
 
 // recover replays the three micro-logs. The whole tree is in SCM, so this is
 // all recovery does — the near-instant restart of Figure 12b.
+//
+// Each log is sanitized whenever ANY of its slots is non-null, not only when
+// its leading slot is: a log line resets as a word-prefix commit, so a torn
+// crash during reset() can null slot 0 while slots 1 and 2 keep their stale
+// pointers. The replay logic itself stays keyed on slot 0 — it is written
+// first in every protocol, so with slot 0 null the remaining slots are
+// leftovers that recorded no durable mutation and must only be wiped (never
+// freed — the blocks they name are owned by the live tree).
 func (b *base) recover() {
 	// Root log: a staged root (first leaf or grown root) either became the
 	// root or is discarded.
-	if rl := b.rootLog(); !rl.p(0).IsNull() {
-		if b.rootOff() != rl.p(0).Offset {
+	if rl := b.rootLog(); !rl.p(0).IsNull() || !rl.p(1).IsNull() || !rl.p(2).IsNull() {
+		if !rl.p(0).IsNull() && b.rootOff() != rl.p(0).Offset {
 			b.pool.Free(rl.pOff(0), b.nodeSizeOf(rl.p(0).Offset))
 		}
 		rl.reset()
 	}
 	// Split log: roll forward when the parent references the new node.
-	if sl := b.splitLog(); !sl.p(0).IsNull() {
-		cur, parent := sl.p(0).Offset, sl.p(2).Offset
-		if nw := sl.p(1); !nw.IsNull() {
-			if parent != 0 && b.entryWithVal(parent, nw.Offset) >= 0 {
-				b.finishSplit(cur, nw.Offset)
-			} else {
-				b.pool.Free(sl.pOff(1), b.nodeSizeOf(nw.Offset))
+	if sl := b.splitLog(); !sl.p(0).IsNull() || !sl.p(1).IsNull() || !sl.p(2).IsNull() {
+		if !sl.p(0).IsNull() {
+			cur, parent := sl.p(0).Offset, sl.p(2).Offset
+			if nw := sl.p(1); !nw.IsNull() {
+				if parent != 0 && b.entryWithVal(parent, nw.Offset) >= 0 {
+					b.finishSplit(cur, nw.Offset)
+				} else {
+					b.pool.Free(sl.pOff(1), b.nodeSizeOf(nw.Offset))
+				}
 			}
 		}
 		sl.reset()
@@ -539,7 +561,7 @@ func (b *base) recover() {
 	// node unless it is the current root" — covering both root shrinks and
 	// detached-subtree frees. A log with only one cell set recorded no
 	// durable mutation.
-	if dl := b.delLog(); !dl.p(0).IsNull() || !dl.p(2).IsNull() {
+	if dl := b.delLog(); !dl.p(0).IsNull() || !dl.p(1).IsNull() || !dl.p(2).IsNull() {
 		p0, p2 := dl.p(0), dl.p(2)
 		if !p0.IsNull() && !p2.IsNull() && b.rootOff() != p0.Offset {
 			b.pool.Free(dl.pOff(0), b.nodeSizeOf(p0.Offset))

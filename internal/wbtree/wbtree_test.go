@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"fptree/internal/crashtest"
 	"fptree/internal/scm"
 )
 
@@ -222,21 +223,13 @@ func TestCrashAtEveryFlush(t *testing.T) {
 			continue
 		}
 		pool.FailAfterFlushes(step)
-		crashed := func() (c bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != scm.ErrInjectedCrash {
-						panic(r)
-					}
-					c = true
-				}
-			}()
-			if err := tr.Insert(k, k+1); err != nil {
-				t.Fatal(err)
-			}
-			return false
-		}()
+		crashed, opErr := crashtest.Crashes(func() error {
+			return tr.Insert(k, k+1)
+		})
 		pool.FailAfterFlushes(-1)
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
 		if !crashed {
 			acked[k] = k + 1
 			step = 1
@@ -246,6 +239,9 @@ func TestCrashAtEveryFlush(t *testing.T) {
 		pool.Crash()
 		tr, err = Open(pool)
 		if err != nil {
+			t.Fatalf("op %d step %d: %v", op, step, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
 			t.Fatalf("op %d step %d: %v", op, step, err)
 		}
 		for ak, av := range acked {
@@ -282,21 +278,14 @@ func TestCrashDuringDeletes(t *testing.T) {
 			break
 		}
 		pool.FailAfterFlushes(step)
-		crashed := func() (c bool) {
-			defer func() {
-				if r := recover(); r != nil {
-					if r != scm.ErrInjectedCrash {
-						panic(r)
-					}
-					c = true
-				}
-			}()
-			if _, err := tr.Delete(key); err != nil {
-				t.Fatal(err)
-			}
-			return false
-		}()
+		crashed, opErr := crashtest.Crashes(func() error {
+			_, err := tr.Delete(key)
+			return err
+		})
 		pool.FailAfterFlushes(-1)
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
 		if !crashed {
 			delete(live, key)
 			step = 1
@@ -307,6 +296,9 @@ func TestCrashDuringDeletes(t *testing.T) {
 		tr, err = Open(pool)
 		if err != nil {
 			t.Fatalf("recovery: %v", err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("op %d step %d: %v", op, step, err)
 		}
 		for k := range live {
 			if k == key {
