@@ -6,6 +6,12 @@
 //
 //	fptree-bench -exp fig7 [-warm N] [-ops N] [-scale paper]
 //	fptree-bench -exp all
+//	fptree-bench -stats
+//
+// -stats prints a metric-level validation report instead of timings: per-phase
+// flushes/op, fences/op, fingerprint false-positive rate and HTM abort ratio,
+// derived from the internal/obs counter registry. Given alone it runs only the
+// report; combined with an explicit -exp it runs after the experiments.
 package main
 
 import (
@@ -24,8 +30,15 @@ func main() {
 		ops     = flag.Int("ops", 50000, "measured operations")
 		scale   = flag.String("scale", "small", "small | paper (paper: 50M/50M — hours of runtime)")
 		threads = flag.String("threads", "", "comma-free max thread count for fig9-11 (default NumCPU*2)")
+		stats   = flag.Bool("stats", false, "print per-phase metric deltas (flushes/op, fences/op, FP-rate, abort ratio)")
 	)
 	flag.Parse()
+	expSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "exp" {
+			expSet = true
+		}
+	})
 
 	sc := bench.Scale{Warm: *warm, Ops: *ops}
 	if *scale == "paper" {
@@ -46,6 +59,13 @@ func main() {
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+	}
+
+	if *stats {
+		run("stats", func() error { return bench.StatsReport(w, sc) })
+		if !expSet {
+			return
 		}
 	}
 

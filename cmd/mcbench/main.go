@@ -2,7 +2,9 @@
 // issues SET requests followed by GET requests against a memcached-protocol
 // server from many client connections and reports throughput, completed op
 // counts and client-side latency percentiles. With -server-stats it also
-// fetches the server's `stats` output after the run.
+// fetches the server's `stats` output before and after the run and prints the
+// per-run delta of every numeric stat, plus the derived SCM cost per op
+// (flushes/op, fences/op) the paper argues about analytically.
 //
 // Usage:
 //
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"fptree/internal/kvserver"
@@ -25,9 +28,19 @@ func main() {
 		ops         = flag.Int("ops", 100000, "operations per phase")
 		size        = flag.Int("size", 32, "value size in bytes")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request I/O deadline (0 = none)")
-		serverStats = flag.Bool("server-stats", false, "fetch and print the server's `stats` output after the run")
+		serverStats = flag.Bool("server-stats", false, "print the per-run delta of the server's `stats` counters after the run")
 	)
 	flag.Parse()
+
+	var before map[string]string
+	if *serverStats {
+		var err error
+		before, err = kvserver.FetchServerStats(*addr, *timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	res, err := kvserver.RunMCBenchmarkTimeout(*addr, *clients, *ops, *size, *timeout)
 	if err != nil {
@@ -42,11 +55,25 @@ func main() {
 	report("GET", res.GetOps, res.GetCompleted, res.GetLatency)
 
 	if *serverStats {
-		stats, err := kvserver.FetchServerStats(*addr, *timeout)
+		after, err := kvserver.FetchServerStats(*addr, *timeout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Print(kvserver.FormatStats(stats))
+		delta := kvserver.StatsDelta(before, after)
+		fmt.Println("server stats delta (this run):")
+		keys := make([]string, 0, len(delta))
+		for k := range delta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-24s %.0f\n", k, delta[k])
+		}
+		if total := res.SetCompleted + res.GetCompleted; total > 0 {
+			fmt.Printf("derived: %.3f flushes/op, %.3f fences/op over %d completed ops\n",
+				delta["scm_flushes"]/float64(total),
+				delta["scm_fences"]/float64(total), total)
+		}
 	}
 }

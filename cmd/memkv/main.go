@@ -7,6 +7,11 @@
 //
 //	memkv -addr 127.0.0.1:11211 -store fptreec -latency 85 -max-conns 1024
 //
+// With -metrics-addr the server also exposes an observability HTTP endpoint:
+// /metrics (Prometheus text exposition of the server, tree, HTM and SCM
+// counters), /debug/vars (expvar), /debug/pprof/ and /debug/events (recent
+// server events).
+//
 // On SIGINT/SIGTERM the server drains in-flight commands (bounded by -drain)
 // and, unless -stats=false, dumps the final stats — per-op counters, latency
 // histogram summaries and the SCM emulator counters — to stdout.
@@ -21,6 +26,7 @@ import (
 	"time"
 
 	"fptree/internal/kvserver"
+	"fptree/internal/obs"
 	"fptree/internal/scm"
 )
 
@@ -35,6 +41,7 @@ func main() {
 		maxConns     = flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
 		drain        = flag.Duration("drain", time.Second, "shutdown grace for in-flight commands")
 		dumpStats    = flag.Bool("stats", true, "dump server stats on shutdown")
+		metricsAddr  = flag.String("metrics-addr", "", "observability HTTP endpoint (/metrics, /debug/pprof/, /debug/vars, /debug/events); empty = off")
 	)
 	flag.Parse()
 
@@ -72,12 +79,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	var ring *obs.EventRing
+	if *metricsAddr != "" {
+		ring = obs.NewEventRing(obs.DefaultEventRingSize)
+	}
 	cfg := kvserver.Config{
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		MaxConns:     *maxConns,
 		DrainTimeout: *drain,
 		Pool:         pool,
+		Events:       ring,
 	}
 	srv, bound, err := kvserver.ServeConfig(*addr, st, cfg)
 	if err != nil {
@@ -85,6 +97,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("memkv: %s store listening on %s (SCM latency %dns)\n", st.Name(), bound, *latency)
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		metricsSrv, metricsBound, err := obs.Serve(*metricsAddr, reg, ring)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			srv.Close()
+			os.Exit(1)
+		}
+		defer metricsSrv.Close()
+		fmt.Printf("memkv: metrics on http://%s/metrics\n", metricsBound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"fptree/internal/core"
+	"fptree/internal/obs"
+	"fptree/internal/scm"
+	"fptree/internal/tatp"
+)
+
+// StatsReport is the metric-level validation of the paper's cost arguments:
+// instead of timing operations, it counts them. Each phase (insert, find,
+// update, delete on the single-threaded FPTree, then a concurrent mixed
+// phase on FPTreeC) runs between two registry snapshots, and the printed
+// per-op deltas are what the paper derives analytically — flushes and fences
+// per operation (Section 6.1's write-cost argument), the fingerprint
+// false-positive rate (~1/256, Section 4.2), the expected number of in-leaf
+// key probes (~1), and the HTM abort/fallback ratio (Section 6.2).
+func StatsReport(w io.Writer, sc Scale) error {
+	fmt.Fprintf(w, "# Metric-level validation of paper claims\n")
+	fmt.Fprintf(w, "# warm=%d ops=%d; counters, not timings\n", sc.Warm, sc.Ops)
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %11s\n",
+		"phase", "ops", "flushes/op", "fences/op", "fp-rate", "probes/find")
+
+	pool := scm.NewPool(int64(poolForScale(sc))<<20, scm.LatencyConfig{})
+	tr, err := core.Create(pool, core.Config{})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg, "scm")
+	tr.RegisterMetrics(reg)
+
+	keys := genKeys(sc.Warm, 1)
+	ops := sc.Ops
+	if ops > sc.Warm {
+		ops = sc.Warm
+	}
+
+	phase := func(name string, n int, fn func() error) error {
+		before := reg.Snapshot()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		printPhase(w, name, n, reg.Snapshot().Sub(before))
+		return nil
+	}
+
+	if err := phase("insert", sc.Warm, func() error {
+		for i, k := range keys {
+			if err := tr.Insert(k, uint64(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := phase("find", ops, func() error {
+		for i := 0; i < ops; i++ {
+			if _, ok := tr.Find(keys[i]); !ok {
+				return fmt.Errorf("key %d missing", keys[i])
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := phase("update", ops, func() error {
+		for i := 0; i < ops; i++ {
+			if ok, err := tr.Update(keys[i], uint64(i)+1); err != nil || !ok {
+				return fmt.Errorf("update %d: ok=%v err=%v", keys[i], ok, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := phase("delete", ops, func() error {
+		for i := 0; i < ops; i++ {
+			if ok, err := tr.Delete(keys[i]); err != nil || !ok {
+				return fmt.Errorf("delete %d: ok=%v err=%v", keys[i], ok, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	return concurrentStatsPhase(w, sc)
+}
+
+// concurrentStatsPhase runs a mixed workload on the concurrent FPTree and
+// reports the same per-op costs plus the emulated-HTM abort ratio.
+func concurrentStatsPhase(w io.Writer, sc Scale) error {
+	pool := scm.NewPool(int64(poolForScale(sc))<<20, scm.LatencyConfig{})
+	ct, err := core.CCreate(pool, core.Config{})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg, "scm")
+	ct.RegisterMetrics(reg)
+
+	keys := genKeys(sc.Warm, 2)
+	for i, k := range keys {
+		if err := ct.Insert(k, uint64(i)); err != nil {
+			return err
+		}
+	}
+
+	const workers = 8
+	perWorker := sc.Ops / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	total := perWorker * workers
+	before := reg.Snapshot()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				k := keys[(g*perWorker+i)%len(keys)]
+				if i%2 == 0 {
+					ct.Find(k)
+				} else {
+					ct.Update(k, uint64(i)) //nolint:errcheck // measured workload
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	d := reg.Snapshot().Sub(before)
+	printPhase(w, "mixed-c8", total, d)
+	fmt.Fprintf(w, "# concurrent: aborts/op %.4f, fallbacks %d, restarts %d\n",
+		d.PerOp("htm_aborts_total", total),
+		int64(d.Get("htm_fallbacks_total")),
+		int64(d.Get("htm_restarts_total")))
+	return nil
+}
+
+// TATPStatsReport is the metric-level counterpart of Figure 12: it loads the
+// TATP schema with the paper's FPTree database configuration and runs the
+// read-only mix, reporting per-phase SCM and fingerprint counters for the
+// dictionary-index arena instead of timings.
+func TATPStatsReport(w io.Writer, subscribers, txns, clients, latNS int) error {
+	latCfg := LatencyNS(latNS, true)
+	idxPool := poolMB(64+subscribers/2000, latCfg)
+	t, err := core.Create(idxPool, core.Config{LeafCap: 56, InnerFanout: 4096, GroupSize: 8})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	idxPool.RegisterMetrics(reg, "scm")
+	t.RegisterMetrics(reg)
+
+	fmt.Fprintf(w, "# TATP metric deltas (index arena): %d subscribers, %d txns, %d clients, %dns SCM\n",
+		subscribers, txns, clients, latNS)
+	fmt.Fprintf(w, "%-10s %10s %12s %12s %10s %11s\n",
+		"phase", "ops", "flushes/op", "fences/op", "fp-rate", "probes/find")
+
+	colPool := poolMB(32+subscribers/1000, latCfg)
+	before := reg.Snapshot()
+	db, err := tatp.Load(colPool, &lockedIdx{t: t}, subscribers)
+	if err != nil {
+		return err
+	}
+	printPhase(w, "load", subscribers, reg.Snapshot().Sub(before))
+
+	before = reg.Snapshot()
+	tps := db.RunReadOnly(clients, txns)
+	printPhase(w, "txns", txns, reg.Snapshot().Sub(before))
+	fmt.Fprintf(w, "# read-only mix: %.0f TX/s\n", tps)
+	return nil
+}
+
+// printPhase renders one per-phase delta line. The fingerprint columns only
+// apply to phases that searched leaves; they print "-" otherwise.
+func printPhase(w io.Writer, name string, n int, d obs.Snapshot) {
+	fpRate, probes := "-", "-"
+	if d.Get("fptree_fingerprint_compares_total") > 0 {
+		fpRate = fmt.Sprintf("%.4f", d.Ratio("fptree_fingerprint_false_positives_total", "fptree_fingerprint_compares_total"))
+	}
+	if d.Get("fptree_searches_total") > 0 {
+		probes = fmt.Sprintf("%.3f", d.Ratio("fptree_key_probes_total", "fptree_searches_total"))
+	}
+	fmt.Fprintf(w, "%-10s %10d %12.3f %12.3f %10s %11s\n",
+		name, n,
+		d.PerOp("scm_flushes_total", n),
+		d.PerOp("scm_fences_total", n),
+		fpRate, probes)
+}

@@ -36,6 +36,8 @@ type CTree struct {
 	// Stats counts optimistic aborts and restarts, mirroring TSX event
 	// counters.
 	Stats htm.Stats
+	// Ops counts in-leaf search and structure-modification events.
+	Ops OpStats
 
 	size atomic.Int64
 }
@@ -91,6 +93,7 @@ func COpen(pool *scm.Pool) (*CTree, error) {
 	leaves, maxKeys, size := rec.collectLeaves()
 	t.size.Store(int64(size))
 	t.root.Store(buildCInner(leaves, maxKeys, t.maxKids()))
+	t.Ops.InnerRebuilds.Add(1)
 	return t, nil
 }
 
@@ -200,15 +203,25 @@ func (t *CTree) findInLeaf(leaf, key uint64) (int, bool) {
 	bm := t.leafBitmap(leaf)
 	t.pool.ReadInto(leaf, buf[:t.cfg.LeafCap])
 	fp := hash1(key)
+	slot := -1
+	var compares, hits, falsePos uint64
 	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 || buf[s] != fp {
+		if bm&(1<<s) == 0 {
 			continue
 		}
-		if t.pool.ReadU64(t.lay.keyOff(leaf, s)) == key {
-			return s, true
+		compares++
+		if buf[s] != fp {
+			continue
 		}
+		hits++
+		if t.pool.ReadU64(t.lay.keyOff(leaf, s)) == key {
+			slot = s
+			break
+		}
+		falsePos++
 	}
-	return -1, false
+	t.Ops.noteSearch(compares, hits, falsePos, hits)
+	return slot, slot >= 0
 }
 
 func (t *CTree) insertIntoLeaf(leaf, bm, key, value uint64) {
@@ -421,6 +434,7 @@ func (t *CTree) splitLeaf(ref *leafRef) (uint64, *leafRef, error) {
 	splitKey := t.completeSplit(ref.off, newOff)
 	log.reset()
 	t.splitQ <- li
+	t.Ops.LeafSplits.Add(1)
 	newRef := &leafRef{off: newOff}
 	newRef.lk.Lock()
 	return splitKey, newRef, nil

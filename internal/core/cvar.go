@@ -31,6 +31,8 @@ type CVarTree struct {
 
 	// Stats counts optimistic aborts and restarts.
 	Stats htm.Stats
+	// Ops counts in-leaf search and structure-modification events.
+	Ops OpStats
 
 	size atomic.Int64
 }
@@ -84,6 +86,7 @@ func COpenVar(pool *scm.Pool) (*CVarTree, error) {
 	leaves, maxKeys, size := rec.collectLeaves()
 	t.size.Store(int64(size))
 	t.root.Store(buildCVarInner(leaves, maxKeys, t.maxKids()))
+	t.Ops.InnerRebuilds.Add(1)
 	return t, nil
 }
 
@@ -200,15 +203,25 @@ func (t *CVarTree) findInLeaf(leaf uint64, key []byte) (int, bool) {
 	bm := t.leafBitmap(leaf)
 	t.pool.ReadInto(leaf, buf[:t.cfg.LeafCap])
 	fp := hash1Bytes(key)
+	slot := -1
+	var compares, hits, falsePos uint64
 	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 || buf[s] != fp {
+		if bm&(1<<s) == 0 {
 			continue
 		}
-		if t.slotKeyEquals(leaf, s, key) {
-			return s, true
+		compares++
+		if buf[s] != fp {
+			continue
 		}
+		hits++
+		if t.slotKeyEquals(leaf, s, key) {
+			slot = s
+			break
+		}
+		falsePos++
 	}
-	return -1, false
+	t.Ops.noteSearch(compares, hits, falsePos, hits)
+	return slot, slot >= 0
 }
 
 func (t *CVarTree) writeValue(leaf uint64, slot int, value []byte) {
@@ -444,6 +457,7 @@ func (t *CVarTree) splitLeaf(ref *leafRef) (string, *leafRef, error) {
 	splitKey := t.completeSplit(ref.off, newOff)
 	log.reset()
 	t.splitQ <- li
+	t.Ops.LeafSplits.Add(1)
 	newRef := &leafRef{off: newOff}
 	newRef.lk.Lock()
 	return string(splitKey), newRef, nil

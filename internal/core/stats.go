@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"fptree/internal/obs"
+)
+
+// OpStats counts the tree events behind the paper's cost arguments, with
+// atomic fields so the concurrent variants can share one instance across
+// goroutines and a metrics endpoint can read it during operation. It
+// complements the older non-atomic ProbeStats (kept for the single-threaded
+// Figure 4 experiment, which resets it between runs).
+//
+// Fingerprint accounting follows Section 4.2: every valid slot costs one
+// byte-compare against the search key's fingerprint (FPCompares); a matching
+// fingerprint forces a key dereference (FPHits = key probes on the
+// fingerprint path); a dereference that finds a different key was a false
+// positive (FPFalsePositives). With a uniform 1-byte hash the false-positive
+// probability per compare is 1/256 ≈ 0.39%, which is what keeps the expected
+// number of in-leaf key probes at ~1.
+type OpStats struct {
+	Searches         atomic.Uint64 // completed in-leaf searches
+	KeyProbes        atomic.Uint64 // keys dereferenced and compared (any variant)
+	FPCompares       atomic.Uint64 // fingerprint byte-compares on valid slots
+	FPHits           atomic.Uint64 // fingerprint matches (forced key probes)
+	FPFalsePositives atomic.Uint64 // fingerprint matched, key differed
+	LeafSplits       atomic.Uint64 // completed leaf splits
+	InnerRebuilds    atomic.Uint64 // DRAM inner-node reconstructions (recovery)
+}
+
+// noteSearch batches one search's local counts into the shared atomics: one
+// atomic add per non-zero counter instead of one per slot visited.
+func (o *OpStats) noteSearch(compares, hits, falsePos, probes uint64) {
+	o.Searches.Add(1)
+	if probes != 0 {
+		o.KeyProbes.Add(probes)
+	}
+	if compares != 0 {
+		o.FPCompares.Add(compares)
+	}
+	if hits != 0 {
+		o.FPHits.Add(hits)
+	}
+	if falsePos != 0 {
+		o.FPFalsePositives.Add(falsePos)
+	}
+}
+
+// FPRate returns the measured fingerprint false-positive rate: the fraction
+// of fingerprint compares that matched on a differing key. Expected ≈ 1/256
+// for uniform keys.
+func (o *OpStats) FPRate() float64 {
+	c := o.FPCompares.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(o.FPFalsePositives.Load()) / float64(c)
+}
+
+// AvgKeyProbes returns the measured expected number of in-leaf key
+// dereferences per search (the paper's "number of key probes" metric).
+func (o *OpStats) AvgKeyProbes() float64 {
+	s := o.Searches.Load()
+	if s == 0 {
+		return 0
+	}
+	return float64(o.KeyProbes.Load()) / float64(s)
+}
+
+// RegisterMetrics exposes the tree's operation counters on reg under the
+// "fptree" prefix.
+func (t *Tree) RegisterMetrics(reg *obs.Registry) { t.Ops.RegisterMetrics(reg, "fptree") }
+
+// RegisterMetrics exposes the tree's operation counters on reg under the
+// "fptree" prefix.
+func (t *VarTree) RegisterMetrics(reg *obs.Registry) { t.Ops.RegisterMetrics(reg, "fptree") }
+
+// RegisterMetrics exposes the tree's operation counters and its emulated-HTM
+// concurrency counters on reg (prefixes "fptree" and "htm").
+func (t *CTree) RegisterMetrics(reg *obs.Registry) {
+	t.Ops.RegisterMetrics(reg, "fptree")
+	t.Stats.RegisterMetrics(reg, "htm")
+}
+
+// RegisterMetrics exposes the tree's operation counters and its emulated-HTM
+// concurrency counters on reg (prefixes "fptree" and "htm").
+func (t *CVarTree) RegisterMetrics(reg *obs.Registry) {
+	t.Ops.RegisterMetrics(reg, "fptree")
+	t.Stats.RegisterMetrics(reg, "htm")
+}
+
+// RegisterMetrics exposes the counters on reg under the given prefix
+// (conventionally "fptree").
+func (o *OpStats) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_searches_total",
+		"completed in-leaf searches", o.Searches.Load)
+	reg.CounterFunc(prefix+"_key_probes_total",
+		"keys dereferenced and compared during in-leaf searches", o.KeyProbes.Load)
+	reg.CounterFunc(prefix+"_fingerprint_compares_total",
+		"fingerprint byte-compares against valid slots", o.FPCompares.Load)
+	reg.CounterFunc(prefix+"_fingerprint_hits_total",
+		"fingerprint matches that forced a key dereference", o.FPHits.Load)
+	reg.CounterFunc(prefix+"_fingerprint_false_positives_total",
+		"fingerprint matches on a differing key (expected ~1/256 per compare)", o.FPFalsePositives.Load)
+	reg.CounterFunc(prefix+"_leaf_splits_total",
+		"completed leaf splits", o.LeafSplits.Load)
+	reg.CounterFunc(prefix+"_inner_rebuilds_total",
+		"DRAM inner-node reconstructions during recovery", o.InnerRebuilds.Load)
+}

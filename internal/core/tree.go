@@ -28,6 +28,7 @@ type Tree struct {
 	recovering bool       // true while micro-logs are being replayed
 
 	Probes ProbeStats // in-leaf search work, for the Figure 4 experiment
+	Ops    OpStats    // atomic event counters for the metrics registry
 
 	path  []pathEntry[uint64] // reusable descent stack
 	fpBuf []byte              // reusable fingerprint read buffer
@@ -154,30 +155,44 @@ func (t *Tree) findInLeaf(leaf, key uint64) (int, bool) {
 	t.Probes.Searches++
 	if !t.lay.hasFP {
 		// PTree variant: plain linear scan over the valid keys.
+		slot, probes := -1, uint64(0)
 		for s := 0; s < t.cfg.LeafCap; s++ {
 			if bm&(1<<s) == 0 {
 				continue
 			}
 			t.Probes.KeyProbes++
+			probes++
 			if t.leafKey(leaf, s) == key {
-				return s, true
+				slot = s
+				break
 			}
 		}
-		return -1, false
+		t.Ops.noteSearch(0, 0, 0, probes)
+		return slot, slot >= 0
 	}
 	t.pool.ReadInto(leaf, t.fpBuf)
 	fp := hash1(key)
 	t.Probes.FPScans += uint64(t.cfg.LeafCap)
+	slot := -1
+	var compares, hits, falsePos uint64
 	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 || t.fpBuf[s] != fp {
+		if bm&(1<<s) == 0 {
 			continue
 		}
+		compares++
+		if t.fpBuf[s] != fp {
+			continue
+		}
+		hits++
 		t.Probes.KeyProbes++
 		if t.leafKey(leaf, s) == key {
-			return s, true
+			slot = s
+			break
 		}
+		falsePos++
 	}
-	return -1, false
+	t.Ops.noteSearch(compares, hits, falsePos, hits)
+	return slot, slot >= 0
 }
 
 // --- descent ---------------------------------------------------------------
@@ -438,6 +453,7 @@ func (t *Tree) splitLeaf(leaf uint64) (splitKey uint64, newLeaf uint64, err erro
 	newLeaf = log.b().Offset
 	splitKey = t.completeSplit(leaf, newLeaf)
 	log.reset()
+	t.Ops.LeafSplits.Add(1)
 	return splitKey, newLeaf, nil
 }
 
@@ -573,6 +589,7 @@ func (t *Tree) rebuild() {
 	t.size = size
 	t.root = buildInnerNodes(leaves, maxKeys, t.cfg.InnerFanout)
 	t.groups.rebuildFreeVector(leaves)
+	t.Ops.InnerRebuilds.Add(1)
 }
 
 // collectLeaves walks the persistent leaf list, pruning leaves emptied by an

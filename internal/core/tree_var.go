@@ -29,6 +29,7 @@ type VarTree struct {
 	recovering bool
 
 	Probes ProbeStats
+	Ops    OpStats
 
 	path  []pathEntry[[]byte]
 	fpBuf []byte
@@ -179,30 +180,44 @@ func (t *VarTree) findInLeaf(leaf uint64, key []byte) (int, bool) {
 	if !t.lay.hasFP {
 		// PTreeVar variant: every valid slot's key must be dereferenced —
 		// an SCM cache miss per probe, which is what fingerprints avoid.
+		slot, probes := -1, uint64(0)
 		for s := 0; s < t.cfg.LeafCap; s++ {
 			if bm&(1<<s) == 0 {
 				continue
 			}
 			t.Probes.KeyProbes++
+			probes++
 			if t.slotKeyEquals(leaf, s, key) {
-				return s, true
+				slot = s
+				break
 			}
 		}
-		return -1, false
+		t.Ops.noteSearch(0, 0, 0, probes)
+		return slot, slot >= 0
 	}
 	t.pool.ReadInto(leaf, t.fpBuf)
 	fp := hash1Bytes(key)
 	t.Probes.FPScans += uint64(t.cfg.LeafCap)
+	slot := -1
+	var compares, hits, falsePos uint64
 	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 || t.fpBuf[s] != fp {
+		if bm&(1<<s) == 0 {
 			continue
 		}
+		compares++
+		if t.fpBuf[s] != fp {
+			continue
+		}
+		hits++
 		t.Probes.KeyProbes++
 		if t.slotKeyEquals(leaf, s, key) {
-			return s, true
+			slot = s
+			break
 		}
+		falsePos++
 	}
-	return -1, false
+	t.Ops.noteSearch(compares, hits, falsePos, hits)
+	return slot, slot >= 0
 }
 
 // --- descent ---------------------------------------------------------------
@@ -484,6 +499,7 @@ func (t *VarTree) splitLeaf(leaf uint64) ([]byte, uint64, error) {
 	newLeaf := log.b().Offset
 	splitKey := t.completeSplit(leaf, newLeaf)
 	log.reset()
+	t.Ops.LeafSplits.Add(1)
 	return splitKey, newLeaf, nil
 }
 
@@ -608,6 +624,7 @@ func (t *VarTree) recoverDelete(log mlog) {
 // slot in the same leaf references the same key: reset the pointer) and the
 // insert/delete-crash case (no other reference: deallocate the key).
 func (t *VarTree) rebuild() {
+	t.Ops.InnerRebuilds.Add(1)
 	leaves, maxKeys, size := t.collectLeaves()
 	t.size = size
 	t.root = buildInnerNodes(leaves, maxKeys, t.cfg.InnerFanout)

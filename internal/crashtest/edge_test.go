@@ -122,7 +122,7 @@ func TestCrashDuringRootGrowthAllocation(t *testing.T) {
 func TestDoubleCrashDuringRecovery(t *testing.T) {
 	type sys struct {
 		name string
-		mk   func(pool *scm.Pool) error            // create + fill one leaf
+		mk   func(pool *scm.Pool) error              // create + fill one leaf
 		ins  func(pool *scm.Pool, k, v uint64) error // upsert via a fresh handle
 		open func(pool *scm.Pool) (Fixed, func() error, error)
 		cap  uint64

@@ -1,0 +1,17 @@
+package htm
+
+import "fptree/internal/obs"
+
+// RegisterMetrics exposes the emulated-HTM event counters on reg under the
+// given prefix (e.g. "htm"): conflict aborts, operation restarts, and
+// fallback-lock acquisitions — the numbers behind the paper's observation
+// that Selective Concurrency keeps TSX abort rates low by moving SCM writes
+// out of transactions.
+func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+"_aborts_total",
+		"optimistic validation failures (TSX conflict-abort analogue)", s.Aborts.Load)
+	reg.CounterFunc(prefix+"_restarts_total",
+		"full operation restarts after an abort", s.Restarts.Load)
+	reg.CounterFunc(prefix+"_fallbacks_total",
+		"times the global fallback lock serialized a section", s.Fallbacks.Load)
+}

@@ -21,6 +21,7 @@ import (
 
 	"fptree/internal/core"
 	"fptree/internal/nvtree"
+	"fptree/internal/obs"
 	"fptree/internal/scm"
 )
 
@@ -94,8 +95,10 @@ func (s cvarStore) Get(k []byte) ([]byte, bool) {
 	}
 	return decodeVal(v), true
 }
-func (s cvarStore) Delete(k []byte) (bool, error) { return s.t.Delete(k) }
-func (s cvarStore) Name() string                  { return "FPTreeC" }
+func (s cvarStore) Delete(k []byte) (bool, error)         { return s.t.Delete(k) }
+func (s cvarStore) Name() string                          { return "FPTreeC" }
+func (s cvarStore) RegisterMetrics(reg *obs.Registry)     { s.t.RegisterMetrics(reg) }
+func (s *lockedVarStore) RegisterMetrics(r *obs.Registry) { s.t.RegisterMetrics(r) }
 
 // NewFPTreeStore backs the cache with the single-threaded FPTree behind a
 // global lock (the paper's non-concurrent configuration).
@@ -238,6 +241,9 @@ type Config struct {
 	// Pool, when set, adds the SCM emulator counters (scm_* lines) to the
 	// `stats` command output.
 	Pool *scm.Pool
+	// Events, when set, receives noteworthy server events (rejected
+	// connections, store errors) for the /debug/events endpoint.
+	Events *obs.EventRing
 }
 
 const defaultDrainTimeout = 500 * time.Millisecond
@@ -281,6 +287,27 @@ func ServeConfig(addr string, store Store, cfg Config) (*Server, string, error) 
 
 // Metrics exposes the server's live counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// RegisterMetrics exposes the server's counters and histograms on reg
+// ("memkv" prefix), along with the SCM pool counters ("scm") when the server
+// was configured with one and the storage engine's own tree counters
+// ("fptree"/"htm") when the engine provides them.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	s.metrics.RegisterMetrics(reg, "memkv")
+	if s.cfg.Pool != nil {
+		s.cfg.Pool.RegisterMetrics(reg, "scm")
+	}
+	if ms, ok := s.store.(interface{ RegisterMetrics(*obs.Registry) }); ok {
+		ms.RegisterMetrics(reg)
+	}
+}
+
+// event records a noteworthy occurrence in the configured ring, if any.
+func (s *Server) event(kind, format string, args ...interface{}) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Record(kind, format, args...)
+	}
+}
 
 // Close stops the listener and shuts down every live connection: handlers
 // get DrainTimeout to finish their current command (idle connections are
@@ -336,6 +363,7 @@ func (s *Server) writeStats(w io.Writer, eol string) {
 		stat("scm_pool_bytes", s.cfg.Pool.Size())
 		stat("scm_reads", ps.Reads)
 		stat("scm_writes", ps.Writes)
+		stat("scm_read_hits", ps.ReadHits)
 		stat("scm_read_misses", ps.ReadMisses)
 		stat("scm_flushes", ps.Flushes)
 		stat("scm_fences", ps.Fences)
@@ -377,6 +405,7 @@ func (s *Server) acceptLoop() {
 		if !ok {
 			if full {
 				s.metrics.RejectedConnections.Add(1)
+				s.event("conn", "rejected %s: max connections reached", conn.RemoteAddr())
 				conn.SetWriteDeadline(time.Now().Add(time.Second))
 				io.WriteString(conn, "SERVER_ERROR max connections reached\r\n")
 			}
@@ -481,6 +510,7 @@ func (s *Server) handle(conn net.Conn) {
 			m.SetLatency.Observe(time.Since(start))
 			if err != nil {
 				m.StoreErrors.Add(1)
+				s.event("store", "set %q: %v", fields[1], err)
 			}
 			if noreply {
 				continue
@@ -536,6 +566,7 @@ func (s *Server) handle(conn net.Conn) {
 			m.DeleteLatency.Observe(time.Since(start))
 			if err != nil {
 				m.StoreErrors.Add(1)
+				s.event("store", "delete %q: %v", fields[1], err)
 			} else if found {
 				m.DeleteHits.Add(1)
 			} else {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -118,6 +119,28 @@ func FetchServerStats(addr string, timeout time.Duration) (map[string]string, er
 	defer c.close()
 	c.timeout = timeout
 	return c.stats()
+}
+
+// StatsDelta returns after-minus-before for every stat whose values in both
+// maps parse as numbers (uptime, counters, the scm_* lines); non-numeric
+// stats (version, engine) and stats absent from either map are dropped.
+// Fetch the server's stats before and after a run and diff them to attribute
+// SCM traffic and command counts to that run alone.
+func StatsDelta(before, after map[string]string) map[string]float64 {
+	delta := make(map[string]float64, len(after))
+	for k, av := range after {
+		bv, ok := before[k]
+		if !ok {
+			continue
+		}
+		a, errA := strconv.ParseFloat(av, 64)
+		b, errB := strconv.ParseFloat(bv, 64)
+		if errA != nil || errB != nil {
+			continue
+		}
+		delta[k] = a - b
+	}
+	return delta
 }
 
 // FormatStats renders a stats map sorted by name, one "name value" per line.

@@ -3,92 +3,20 @@ package kvserver
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"fptree/internal/obs"
 )
 
-// Histogram is a lock-free latency histogram with power-of-two nanosecond
-// buckets: bucket b counts observations whose nanosecond value has b
-// significant bits (upper bound 2^b - 1 ns). Forty buckets cover sub-ns to
-// ~9 minutes, far beyond any realistic request latency.
-type Histogram struct {
-	count   atomic.Uint64
-	sumNS   atomic.Uint64
-	maxNS   atomic.Uint64
-	buckets [histogramBuckets]atomic.Uint64
-}
+// Histogram is the lock-free power-of-two latency histogram. The
+// implementation originated in this package and was generalized into
+// internal/obs so every subsystem shares it; the alias keeps the kvserver
+// API unchanged.
+type Histogram = obs.Histogram
 
-const histogramBuckets = 40
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := uint64(0)
-	if d > 0 {
-		ns = uint64(d.Nanoseconds())
-	}
-	b := bits.Len64(ns)
-	if b >= histogramBuckets {
-		b = histogramBuckets - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumNS.Add(ns)
-	for {
-		cur := h.maxNS.Load()
-		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
-			break
-		}
-	}
-}
-
-// HistogramSnapshot is a point-in-time summary of a Histogram. Quantiles are
-// upper bounds of the containing power-of-two bucket, so they are conservative
-// (never under-report).
-type HistogramSnapshot struct {
-	Count uint64
-	Mean  time.Duration
-	P50   time.Duration
-	P95   time.Duration
-	P99   time.Duration
-	Max   time.Duration
-}
-
-// Snapshot summarizes the histogram.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	var counts [histogramBuckets]uint64
-	total := uint64(0)
-	for i := range counts {
-		counts[i] = h.buckets[i].Load()
-		total += counts[i]
-	}
-	s := HistogramSnapshot{Count: total, Max: time.Duration(h.maxNS.Load())}
-	if total == 0 {
-		return s
-	}
-	s.Mean = time.Duration(h.sumNS.Load() / total)
-	quantile := func(q float64) time.Duration {
-		target := uint64(q * float64(total))
-		if target == 0 {
-			target = 1
-		}
-		seen := uint64(0)
-		for b, c := range counts {
-			seen += c
-			if seen >= target {
-				if b == 0 {
-					return 0
-				}
-				return time.Duration(uint64(1)<<b - 1)
-			}
-		}
-		return s.Max
-	}
-	s.P50 = quantile(0.50)
-	s.P95 = quantile(0.95)
-	s.P99 = quantile(0.99)
-	return s
-}
+// HistogramSnapshot is a point-in-time summary of a Histogram.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // Metrics aggregates the server's per-operation counters, byte counters,
 // connection gauges and latency histograms. All fields are updated atomically
@@ -161,7 +89,42 @@ func (m *Metrics) writeTo(w io.Writer, eol string) {
 }
 
 func microseconds(d time.Duration) string {
+	if d < 0 {
+		// A negative duration can only come from a clock step between the
+		// caller's two time reads; render it as zero rather than "-0.0".
+		d = 0
+	}
 	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+// RegisterMetrics exposes the server metrics on reg under the given prefix
+// (conventionally "memkv"): one counter per command/outcome counter, gauges
+// for the connection counts, and the three latency histograms (rendered as
+// full Prometheus histograms by the /metrics endpoint).
+func (m *Metrics) RegisterMetrics(reg *obs.Registry, prefix string) {
+	counter := func(suffix, help string, c *atomic.Uint64) {
+		reg.CounterFunc(prefix+"_"+suffix, help, c.Load)
+	}
+	counter("cmd_get_total", "get keys processed", &m.CmdGet)
+	counter("cmd_set_total", "set commands processed", &m.CmdSet)
+	counter("cmd_delete_total", "delete commands processed", &m.CmdDelete)
+	counter("cmd_stats_total", "stats commands processed", &m.CmdStats)
+	counter("cmd_version_total", "version commands processed", &m.CmdVersion)
+	counter("get_hits_total", "get keys found", &m.GetHits)
+	counter("get_misses_total", "get keys not found", &m.GetMisses)
+	counter("delete_hits_total", "delete keys found", &m.DeleteHits)
+	counter("delete_misses_total", "delete keys not found", &m.DeleteMisses)
+	counter("store_errors_total", "engine-level Set/Delete failures", &m.StoreErrors)
+	counter("protocol_errors_total", "malformed commands, bad framing, unknown verbs", &m.ProtocolErrors)
+	counter("bytes_read_total", "raw bytes read from clients", &m.BytesRead)
+	counter("bytes_written_total", "raw bytes written to clients", &m.BytesWritten)
+	counter("connections_total", "connections accepted", &m.TotalConnections)
+	counter("connections_rejected_total", "connections refused at MaxConns", &m.RejectedConnections)
+	reg.GaugeFunc(prefix+"_curr_connections", "open client connections",
+		func() float64 { return float64(m.CurrConnections.Load()) })
+	reg.RegisterHistogram(prefix+"_get_latency_seconds", "get command latency", &m.GetLatency)
+	reg.RegisterHistogram(prefix+"_set_latency_seconds", "set command latency", &m.SetLatency)
+	reg.RegisterHistogram(prefix+"_delete_latency_seconds", "delete command latency", &m.DeleteLatency)
 }
 
 // countingReader/countingWriter meter the raw bytes moving through a

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a lock-free latency histogram with power-of-two nanosecond
+// buckets: bucket b counts observations whose nanosecond value has b
+// significant bits (upper bound 2^b - 1 ns). Forty buckets cover sub-ns to
+// ~9 minutes, far beyond any realistic request latency.
+//
+// It was generalized out of internal/kvserver so every subsystem shares one
+// implementation; kvserver aliases this type.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	maxNS   atomic.Uint64
+	buckets [HistogramBuckets]atomic.Uint64
+}
+
+// HistogramBuckets is the number of power-of-two buckets.
+const HistogramBuckets = 40
+
+// Observe records one latency sample. Negative durations (a clock step
+// between the caller's two time reads) are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d.Nanoseconds())
+	}
+	b := bits.Len64(ns)
+	if b >= HistogramBuckets {
+		b = HistogramBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.sumNS.Add(ns)
+	h.count.Add(1)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time summary of a Histogram. Quantiles are
+// upper bounds of the containing power-of-two bucket clamped to the observed
+// maximum, so they are conservative (never under-report) and monotonic:
+// P50 <= P95 <= P99 <= Max whenever Count > 0.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     time.Duration
+	Mean    time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Max     time.Duration
+	Buckets [HistogramBuckets]uint64
+}
+
+// Snapshot summarizes the histogram. count and sumNS are read before the
+// bucket loop so the reported Mean never pairs a sum with an older count
+// (concurrent Observe calls land sum before count, see Observe).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	count := h.count.Load()
+	sum := h.sumNS.Load()
+	var s HistogramSnapshot
+	total := uint64(0)
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		total += s.Buckets[i]
+	}
+	s.Count = count
+	s.Sum = time.Duration(sum)
+	s.Max = time.Duration(h.maxNS.Load())
+	if count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(sum / count)
+	quantile := func(q float64) time.Duration {
+		target := uint64(q * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		seen := uint64(0)
+		for b, c := range s.Buckets {
+			seen += c
+			if seen >= target {
+				if b == 0 {
+					return 0
+				}
+				// The last bucket is a catch-all with no finite upper bound;
+				// the observed maximum is the only honest answer there.
+				if b == HistogramBuckets-1 {
+					return s.Max
+				}
+				// Bucket upper bound, clamped to the true maximum so a lone
+				// sample cannot push a quantile above Max.
+				ub := time.Duration(uint64(1)<<b - 1)
+				if ub > s.Max {
+					return s.Max
+				}
+				return ub
+			}
+		}
+		return s.Max
+	}
+	s.P50 = quantile(0.50)
+	s.P95 = quantile(0.95)
+	s.P99 = quantile(0.99)
+	return s
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry and the standard
+// debug surfaces:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/debug/vars     expvar (Go runtime memstats, cmdline)
+//	/debug/pprof/   net/http/pprof profiles
+//	/debug/events   the event ring, oldest first (when ring is non-nil)
+func Handler(reg *Registry, ring *EventRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(reg))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if ring != nil {
+		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			ring.WriteTo(w) //nolint:errcheck // best-effort debug dump
+		})
+	}
+	return mux
+}
+
+// MetricsHandler serves only the /metrics exposition of reg.
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+}
+
+// HTTPServer is a running observability endpoint; Close shuts it down.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:9100" or
+// ":0" for an ephemeral port) and returns the server and its bound address.
+func Serve(addr string, reg *Registry, ring *EventRing) (*HTTPServer, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: Handler(reg, ring), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
+	return &HTTPServer{ln: ln, srv: srv}, ln.Addr().String(), nil
+}
+
+// Addr returns the bound address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and closes idle connections.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistrySnapshotAndDelta(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_conns", "conns")
+	var ext uint64
+	reg.CounterFunc("test_ext_total", "external", func() uint64 { return ext })
+
+	c.Add(5)
+	g.Set(3)
+	ext = 10
+	before := reg.Snapshot()
+	if before.Get("test_ops_total") != 5 || before.Get("test_conns") != 3 || before.Get("test_ext_total") != 10 {
+		t.Fatalf("snapshot = %v", before)
+	}
+
+	c.Add(7)
+	c.Inc()
+	g.Add(-1)
+	ext = 25
+	d := reg.Snapshot().Sub(before)
+	if d.Get("test_ops_total") != 8 {
+		t.Fatalf("counter delta = %v", d.Get("test_ops_total"))
+	}
+	if d.Get("test_conns") != -1 {
+		t.Fatalf("gauge delta = %v", d.Get("test_conns"))
+	}
+	if d.Get("test_ext_total") != 15 {
+		t.Fatalf("func counter delta = %v", d.Get("test_ext_total"))
+	}
+	if got := d.PerOp("test_ops_total", 4); got != 2 {
+		t.Fatalf("PerOp = %v", got)
+	}
+	if got := d.Ratio("test_conns", "test_ops_total"); got != -0.125 {
+		t.Fatalf("Ratio = %v", got)
+	}
+	if got := d.Ratio("test_conns", "test_missing"); got != 0 {
+		t.Fatalf("Ratio with zero denominator = %v", got)
+	}
+}
+
+func TestRegistryHistogramSnapshotSeries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_latency_seconds", "latency")
+	h.Observe(time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	s := reg.Snapshot()
+	if s.Get("test_latency_seconds_count") != 2 {
+		t.Fatalf("hist count series = %v", s)
+	}
+	if s.Get("test_latency_seconds_sum_ns") != 4000 {
+		t.Fatalf("hist sum series = %v", s)
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndBadNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "x")
+	mustPanic(t, func() { reg.Counter("dup_total", "y") })
+	mustPanic(t, func() { reg.Counter("bad name", "y") })
+	mustPanic(t, func() { reg.Counter("1leading", "y") })
+	mustPanic(t, func() { reg.Counter("", "y") })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestRegistryConcurrentReadsRaceFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("race_total", "x")
+	h := reg.Histogram("race_seconds", "x")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		reg.Snapshot()
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEventRing(t *testing.T) {
+	r := NewEventRing(4)
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatalf("fresh ring not empty")
+	}
+	for i := 0; i < 6; i++ {
+		r.Record("kind", "event %d", i)
+	}
+	ev := r.Events()
+	if r.Len() != 4 || len(ev) != 4 {
+		t.Fatalf("ring kept %d events", len(ev))
+	}
+	// Oldest two overwritten; survivors in order with stable sequence numbers.
+	for i, e := range ev {
+		if e.Seq != uint64(i+2) || e.Msg != "event "+string(rune('0'+i+2)) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.Kind != "kind" || e.Time.IsZero() {
+			t.Fatalf("event %d metadata = %+v", i, e)
+		}
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[kind] event 5") {
+		t.Fatalf("WriteTo output:\n%s", b.String())
+	}
+}
+
+func TestEventRingConcurrentRecord(t *testing.T) {
+	r := NewEventRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record("g", "%d-%d", g, i)
+				r.Events()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+	ev := r.Events()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+}

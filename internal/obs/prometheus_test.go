@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusValidAndComplete(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("scm_flushes_total", "cache-line write-backs")
+	g := reg.Gauge("kv_conns", "open connections")
+	h := reg.Histogram("kv_get_latency_seconds", "get latency")
+	c.Add(42)
+	g.Set(-3)
+	h.Observe(800 * time.Nanosecond)
+	h.Observe(2 * time.Millisecond)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP scm_flushes_total cache-line write-backs",
+		"# TYPE scm_flushes_total counter",
+		"scm_flushes_total 42",
+		"# TYPE kv_conns gauge",
+		"kv_conns -3",
+		"# TYPE kv_get_latency_seconds histogram",
+		`kv_get_latency_seconds_bucket{le="+Inf"} 2`,
+		"kv_get_latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-validation failed: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no TYPE":            "a_total 1\n",
+		"duplicate series":   "# TYPE a_total counter\na_total 1\na_total 2\n",
+		"duplicate TYPE":     "# TYPE a_total counter\n# TYPE a_total counter\na_total 1\n",
+		"bad value":          "# TYPE a_total counter\na_total zebra\n",
+		"bad name":           "# TYPE 9bad counter\n9bad 1\n",
+		"empty":              "\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+	}
+	for name, body := range cases {
+		if err := ValidateExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed:\n%s", name, body)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsLabels(t *testing.T) {
+	body := "# HELP h lat\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.001\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.003\nh_count 2\n"
+	if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPEndpointServesMetricsExpvarAndEvents(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("endpoint_test_total", "x").Add(7)
+	ring := NewEventRing(8)
+	ring.Record("test", "hello ring")
+	srv, addr, err := Serve("127.0.0.1:0", reg, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "endpoint_test_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", metrics)
+	}
+	if err := ValidateExposition(strings.NewReader(metrics)); err != nil {
+		t.Fatalf("/metrics not valid exposition: %v", err)
+	}
+	if vars := get("/debug/vars"); !strings.Contains(vars, "memstats") {
+		t.Fatalf("/debug/vars missing memstats")
+	}
+	if ev := get("/debug/events"); !strings.Contains(ev, "hello ring") {
+		t.Fatalf("/debug/events missing recorded event: %q", ev)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Fatalf("/debug/pprof/ index missing profiles")
+	}
+}

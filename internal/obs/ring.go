@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one entry in an EventRing.
+type Event struct {
+	Seq  uint64    // monotonically increasing per ring
+	Time time.Time // when Record was called
+	Kind string    // short category, e.g. "htm.fallback", "conn.rejected"
+	Msg  string    // human-readable detail
+}
+
+// EventRing is a fixed-size ring buffer of recent noteworthy events, kept for
+// post-hoc debugging of concurrency anomalies (HTM fallback storms, allocator
+// pressure, connection churn) without unbounded memory. Recording is cheap
+// and safe for concurrent use; when the ring is full the oldest event is
+// overwritten.
+type EventRing struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; buf index is next % len(buf)
+}
+
+// DefaultEventRingSize is used when NewEventRing is given a non-positive
+// capacity.
+const DefaultEventRingSize = 256
+
+// NewEventRing returns a ring holding the last n events.
+func NewEventRing(n int) *EventRing {
+	if n <= 0 {
+		n = DefaultEventRingSize
+	}
+	return &EventRing{buf: make([]Event, n)}
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (r *EventRing) Record(kind, format string, args ...interface{}) {
+	e := Event{Time: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	e.Seq = r.next
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len reports how many events the ring currently holds.
+func (r *EventRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Events returns the retained events, oldest first.
+func (r *EventRing) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	out := make([]Event, 0, r.next-start)
+	for s := start; s < r.next; s++ {
+		out = append(out, r.buf[s%n])
+	}
+	return out
+}
+
+// WriteTo renders the retained events, oldest first, one per line.
+func (r *EventRing) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, e := range r.Events() {
+		n, err := fmt.Fprintf(w, "%d %s [%s] %s\n",
+			e.Seq, e.Time.Format(time.RFC3339Nano), e.Kind, e.Msg)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

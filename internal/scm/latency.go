@@ -144,6 +144,7 @@ func spin(d time.Duration) {
 type Stats struct {
 	Reads        atomic.Uint64 // SCM load operations (any size)
 	Writes       atomic.Uint64 // SCM store operations (any size)
+	ReadHits     atomic.Uint64 // line accesses served by the simulated cache
 	ReadMisses   atomic.Uint64 // loads/stores that missed the simulated cache
 	Flushes      atomic.Uint64 // cache-line write-backs (CLFLUSH equivalents)
 	Fences       atomic.Uint64 // memory fences
@@ -157,6 +158,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Reads:        s.Reads.Load(),
 		Writes:       s.Writes.Load(),
+		ReadHits:     s.ReadHits.Load(),
 		ReadMisses:   s.ReadMisses.Load(),
 		Flushes:      s.Flushes.Load(),
 		Fences:       s.Fences.Load(),
@@ -170,6 +172,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 type StatsSnapshot struct {
 	Reads        uint64
 	Writes       uint64
+	ReadHits     uint64
 	ReadMisses   uint64
 	Flushes      uint64
 	Fences       uint64
@@ -183,6 +186,7 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
 		Reads:        s.Reads - o.Reads,
 		Writes:       s.Writes - o.Writes,
+		ReadHits:     s.ReadHits - o.ReadHits,
 		ReadMisses:   s.ReadMisses - o.ReadMisses,
 		Flushes:      s.Flushes - o.Flushes,
 		Fences:       s.Fences - o.Fences,

@@ -1,0 +1,44 @@
+package scm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fptree/internal/obs"
+)
+
+// RegisterMetrics exposes the counters in s on reg under the given name
+// prefix (e.g. "scm"). The registered metrics read the live atomics, so a
+// snapshot of reg observes exactly what s.Snapshot would.
+func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
+	type entry struct {
+		suffix string
+		help   string
+		src    interface{ Load() uint64 }
+	}
+	for _, e := range []entry{
+		{"reads_total", "SCM load operations of any size", &s.Reads},
+		{"writes_total", "SCM store operations of any size", &s.Writes},
+		{"read_hits_total", "line accesses served by the simulated CPU cache", &s.ReadHits},
+		{"read_misses_total", "line accesses that missed the simulated cache and paid SCM read latency", &s.ReadMisses},
+		{"flushes_total", "cache-line write-backs (CLFLUSH equivalents)", &s.Flushes},
+		{"fences_total", "memory fences (SFENCE/MFENCE equivalents)", &s.Fences},
+		{"allocs_total", "persistent allocations", &s.Allocs},
+		{"frees_total", "persistent deallocations", &s.Frees},
+		{"bytes_flushed_total", "payload bytes made durable", &s.BytesFlushed},
+	} {
+		reg.CounterFunc(fmt.Sprintf("%s_%s", prefix, e.suffix), e.help, e.src.Load)
+	}
+}
+
+// RegisterMetrics exposes the pool's activity counters and capacity gauges on
+// reg under the given prefix. The allocated-bytes gauge reads the bump pointer
+// from the cache view directly so a metrics scrape does not itself count as
+// SCM traffic (and cannot trip a crash fail-point).
+func (p *Pool) RegisterMetrics(reg *obs.Registry, prefix string) {
+	p.stats.RegisterMetrics(reg, prefix)
+	reg.GaugeFunc(prefix+"_pool_size_bytes", "arena capacity in bytes",
+		func() float64 { return float64(len(p.mem)) })
+	reg.GaugeFunc(prefix+"_pool_allocated_bytes", "bytes claimed by the bump allocator",
+		func() float64 { return float64(binary.LittleEndian.Uint64(p.mem[offBump:])) })
+}

@@ -115,6 +115,8 @@ func (p *Pool) onAccess(off, size uint64, write bool) {
 			if p.cfg.Mode == LatencySpin {
 				spin(p.cfg.ReadLatency)
 			}
+		} else {
+			p.stats.ReadHits.Add(1)
 		}
 		if write {
 			p.dirty[l/64].Or(1 << (l % 64))
