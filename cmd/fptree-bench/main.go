@@ -12,6 +12,12 @@
 // flushes/op, fences/op, fingerprint false-positive rate and HTM abort ratio,
 // derived from the internal/obs counter registry. Given alone it runs only the
 // report; combined with an explicit -exp it runs after the experiments.
+//
+// -json <path> writes a machine-readable summary of the standard
+// single-threaded workload suite (ops/sec, p50/p99 latency, flushes/op,
+// fences/op per workload) for regression tracking; see BENCH_baseline.json at
+// the repository root for the committed baseline. Like -stats, -json given
+// without -exp runs only the JSON suite.
 package main
 
 import (
@@ -31,6 +37,7 @@ func main() {
 		scale   = flag.String("scale", "small", "small | paper (paper: 50M/50M — hours of runtime)")
 		threads = flag.String("threads", "", "comma-free max thread count for fig9-11 (default NumCPU*2)")
 		stats   = flag.Bool("stats", false, "print per-phase metric deltas (flushes/op, fences/op, FP-rate, abort ratio)")
+		jsonOut = flag.String("json", "", "write machine-readable workload results (ops/sec, p50/p99, flushes/op, fences/op) to this path")
 	)
 	flag.Parse()
 	expSet := false
@@ -64,9 +71,12 @@ func main() {
 
 	if *stats {
 		run("stats", func() error { return bench.StatsReport(w, sc) })
-		if !expSet {
-			return
-		}
+	}
+	if *jsonOut != "" {
+		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc) })
+	}
+	if (*stats || *jsonOut != "") && !expSet {
+		return
 	}
 
 	all := *exp == "all"

@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"fptree/internal/core"
+	"fptree/internal/obs"
+	"fptree/internal/scm"
+)
+
+// JSONWorkloadResult is the machine-readable record for one measured
+// workload: throughput, tail latency, and the per-op SCM write costs the
+// paper argues about analytically (flushes/op, fences/op).
+type JSONWorkloadResult struct {
+	Tree         string  `json:"tree"`     // FPTree | FPTreeVar
+	Workload     string  `json:"workload"` // insert | find | update | scan100 | delete
+	Ops          int     `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50NS        int64   `json:"p50_ns"`
+	P99NS        int64   `json:"p99_ns"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	FencesPerOp  float64 `json:"fences_per_op"`
+}
+
+// JSONReport is the top-level document written by the -json flag. It is
+// intended for regression tracking: commit one baseline, diff later runs
+// against it.
+type JSONReport struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoVersion   string               `json:"go_version"`
+	GOOS        string               `json:"goos"`
+	GOARCH      string               `json:"goarch"`
+	NumCPU      int                  `json:"num_cpu"`
+	Warm        int                  `json:"warm_keys"`
+	Results     []JSONWorkloadResult `json:"results"`
+}
+
+// measureJSON times each op individually (for percentiles) and snapshots the
+// obs registry around the loop (for per-op flush/fence counts).
+func measureJSON(tree, workload string, reg *obs.Registry, n int, fn func(i int)) JSONWorkloadResult {
+	lat := make([]time.Duration, n)
+	before := reg.Snapshot()
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		fn(i)
+		lat[i] = time.Since(t0)
+	}
+	total := time.Since(start)
+	d := reg.Snapshot().Sub(before)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) int64 {
+		idx := int(p * float64(n-1))
+		return lat[idx].Nanoseconds()
+	}
+	return JSONWorkloadResult{
+		Tree:         tree,
+		Workload:     workload,
+		Ops:          n,
+		OpsPerSec:    float64(n) / total.Seconds(),
+		P50NS:        pct(0.50),
+		P99NS:        pct(0.99),
+		FlushesPerOp: d.PerOp("scm_flushes_total", n),
+		FencesPerOp:  d.PerOp("scm_fences_total", n),
+	}
+}
+
+// JSONBench runs the standard single-threaded workload suite (insert, find,
+// update, scan100, delete) on the fixed- and variable-key FPTree and writes
+// the results as an indented JSON document to path. A one-line summary per
+// workload goes to w so interactive runs still show progress.
+func JSONBench(w io.Writer, path string, sc Scale) error {
+	rep := JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Warm:        sc.Warm,
+	}
+	note := func(r JSONWorkloadResult) {
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(w, "%-10s %-8s %9.0f ops/s  p50 %6dns  p99 %7dns  %.2f flushes/op  %.2f fences/op\n",
+			r.Tree, r.Workload, r.OpsPerSec, r.P50NS, r.P99NS, r.FlushesPerOp, r.FencesPerOp)
+	}
+
+	if err := jsonFixedSuite(sc, note); err != nil {
+		return err
+	}
+	if err := jsonVarSuite(sc, note); err != nil {
+		return err
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %d workload results to %s\n", len(rep.Results), path)
+	return nil
+}
+
+func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
+	pool := scm.NewPool(int64(poolForScale(sc))<<20, scm.LatencyConfig{})
+	tr, err := core.Create(pool, core.Config{LeafCap: 56, InnerFanout: 4096, GroupSize: 8})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg, "scm")
+
+	warm := genKeys(sc.Warm, 1)
+	extra := genKeys(sc.Ops, 2)
+	for i, k := range warm {
+		if err := tr.Insert(k, uint64(i)); err != nil {
+			return err
+		}
+	}
+
+	var opErr error
+	note(measureJSON("FPTree", "insert", reg, sc.Ops, func(i int) {
+		if err := tr.Insert(extra[i], uint64(i)); err != nil {
+			opErr = err
+		}
+	}))
+	note(measureJSON("FPTree", "find", reg, sc.Ops, func(i int) {
+		tr.Find(warm[i%len(warm)])
+	}))
+	note(measureJSON("FPTree", "update", reg, sc.Ops, func(i int) {
+		if _, err := tr.Update(warm[i%len(warm)], uint64(i)+1); err != nil {
+			opErr = err
+		}
+	}))
+	scans := sc.Ops / 100
+	if scans < 1 {
+		scans = 1
+	}
+	note(measureJSON("FPTree", "scan100", reg, scans, func(i int) {
+		tr.ScanN(warm[i%len(warm)], 100)
+	}))
+	note(measureJSON("FPTree", "delete", reg, sc.Ops, func(i int) {
+		if _, err := tr.Delete(extra[i]); err != nil {
+			opErr = err
+		}
+	}))
+	return opErr
+}
+
+func jsonVarSuite(sc Scale, note func(JSONWorkloadResult)) error {
+	pool := scm.NewPool(int64(poolForScale(sc))<<21, scm.LatencyConfig{})
+	tr, err := core.CreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 2048, GroupSize: 8, ValueSize: 8})
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg, "scm")
+
+	warm := genKeys(sc.Warm, 3)
+	extra := genKeys(sc.Ops, 4)
+	val := []byte("valuedat")
+	for _, k := range warm {
+		if err := tr.Insert(keys16(k), val); err != nil {
+			return err
+		}
+	}
+
+	var opErr error
+	note(measureJSON("FPTreeVar", "insert", reg, sc.Ops, func(i int) {
+		if err := tr.Insert(keys16(extra[i]), val); err != nil {
+			opErr = err
+		}
+	}))
+	note(measureJSON("FPTreeVar", "find", reg, sc.Ops, func(i int) {
+		tr.Find(keys16(warm[i%len(warm)]))
+	}))
+	note(measureJSON("FPTreeVar", "update", reg, sc.Ops, func(i int) {
+		if _, err := tr.Update(keys16(warm[i%len(warm)]), val); err != nil {
+			opErr = err
+		}
+	}))
+	scans := sc.Ops / 100
+	if scans < 1 {
+		scans = 1
+	}
+	note(measureJSON("FPTreeVar", "scan100", reg, scans, func(i int) {
+		tr.ScanN(keys16(warm[i%len(warm)]), 100)
+	}))
+	note(measureJSON("FPTreeVar", "delete", reg, sc.Ops, func(i int) {
+		if _, err := tr.Delete(keys16(extra[i])); err != nil {
+			opErr = err
+		}
+	}))
+	return opErr
+}

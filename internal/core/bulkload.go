@@ -23,10 +23,11 @@ const DefaultBulkFill = 0.7
 // vector during recovery. Bulk loading requires leaf groups (the default
 // configuration).
 func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
-	if t.root != nil || !t.m.headLeaf().IsNull() {
+	e := t.engine
+	if e.root.Load().cnt.Load() != 0 || !e.m.headLeaf().IsNull() {
 		return fmt.Errorf("fptree: BulkLoad requires an empty tree")
 	}
-	if !t.groups.enabled() {
+	if !e.groups.enabled() {
 		return fmt.Errorf("fptree: BulkLoad requires leaf groups")
 	}
 	if fill == 0 {
@@ -38,7 +39,8 @@ func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
 	if !sort.SliceIsSorted(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key }) {
 		return fmt.Errorf("fptree: BulkLoad input must be sorted by key")
 	}
-	per := int(float64(t.cfg.LeafCap) * fill)
+	lay := e.cdc.(*fixedCodec).lay // raw slot layout: bulk writes bypass per-slot persists
+	per := int(float64(e.sh.cap) * fill)
 	if per < 1 {
 		per = 1
 	}
@@ -49,34 +51,34 @@ func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
 		if end > len(kvs) {
 			end = len(kvs)
 		}
-		leaf, err := t.groups.getLeaf()
+		leaf, err := e.groups.getLeaf()
 		if err != nil {
 			return err
 		}
 		var bm uint64
 		for s, kv := range kvs[at:end] {
-			t.pool.WriteU64(t.lay.keyOff(leaf, s), kv.Key)
-			t.pool.WriteU64(t.lay.valOff(leaf, s), kv.Value)
-			if t.lay.hasFP {
-				t.pool.WriteU8(leaf+uint64(s), hash1(kv.Key))
+			e.pool.WriteU64(lay.keyOff(leaf, s), kv.Key)
+			e.pool.WriteU64(lay.valOff(leaf, s), kv.Value)
+			if lay.hasFP {
+				e.pool.WriteU8(leaf+uint64(s), hash1(kv.Key))
 			}
 			bm |= 1 << s
 		}
-		t.pool.WriteU64(leaf+t.lay.offBitmap, bm)
-		t.pool.WritePPtr(leaf+t.lay.offNext, scm.PPtr{})
-		t.pool.Persist(leaf, t.lay.size)
+		e.pool.WriteU64(leaf+lay.offBitmap, bm)
+		e.pool.WritePPtr(leaf+lay.offNext, scm.PPtr{})
+		e.pool.Persist(leaf, lay.size)
 		// Link only after the leaf is durable: the list stays a consistent
 		// prefix at every instant.
 		if prev == 0 {
-			t.m.setHeadLeaf(scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
+			e.m.setHeadLeaf(scm.PPtr{ArenaID: e.pool.ID(), Offset: leaf})
 		} else {
-			t.setLeafNext(prev, scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
+			e.setLeafNext(prev, scm.PPtr{ArenaID: e.pool.ID(), Offset: leaf})
 		}
 		prev = leaf
 		leaves = append(leaves, leaf)
 		maxKeys = append(maxKeys, kvs[end-1].Key)
-		t.size += end - at
+		e.size.Add(int64(end - at))
 	}
-	t.root = buildInnerNodes(leaves, maxKeys, t.cfg.InnerFanout)
+	e.root.Store(buildInner(leaves, maxKeys, e.maxKids()))
 	return nil
 }

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"fptree/internal/scm"
+)
+
+// leafShape is the codec-independent geometry the engine needs for header
+// reads, bitmap commits and next-pointer chasing.
+type leafShape struct {
+	cap       int
+	hasFP     bool
+	offBitmap uint64
+	offNext   uint64
+	size      uint64
+}
+
+// codec owns everything that depends on the key representation: the leaf slot
+// layout, fingerprints, comparisons, slot read/write/persist, and the
+// key-ownership bookkeeping that only variable-size keys need (Appendix C).
+// The engine never touches a slot except through this interface.
+//
+// Fixed codec: inline u64 key + u64 value per slot, nothing to allocate or
+// leak. Var codec: each slot holds a persistent pointer to a separately
+// allocated key block plus an inline value, so insert/update/delete/split all
+// have extra ownership steps (the no-op methods below on the fixed codec).
+type codec[K, V any] interface {
+	shape() leafShape
+	less(a, b K) bool
+	fingerprint(k K) byte
+	// validateKey rejects keys the codec cannot store (empty var keys).
+	validateKey(k K) error
+
+	slotKey(leaf uint64, s int) K
+	slotKeyEquals(leaf uint64, s int, k K) bool
+	slotValue(leaf uint64, s int) V
+
+	// writeSlot persists the key and value payload of a free slot. It does
+	// NOT touch the fingerprint or bitmap — engine.commitSlot owns those.
+	writeSlot(leaf uint64, slot int, k K, v V) error
+	// moveSlot restages an existing slot's key with a new value into a free
+	// slot (update path). The var codec copies the key's persistent pointer
+	// instead of re-allocating (Algorithm 16).
+	moveSlot(leaf uint64, slot, prev int, k K, v V)
+	// afterUpdate runs after the bitmap commit of an update; the var codec
+	// nulls the old slot's key pointer so the key keeps exactly one owner.
+	afterUpdate(leaf uint64, prev int)
+	// releaseSlotKey frees per-slot key storage after a delete's bitmap flip.
+	releaseSlotKey(leaf uint64, slot int)
+	// afterSplitBitmaps restores per-slot ownership invariants once the two
+	// halves' complementary bitmaps are durable (var: null the invalid
+	// slots' key pointers in both halves).
+	afterSplitBitmaps(leaf, newLeaf uint64)
+	// reclaimLeaks is the Algorithm 17 per-leaf recovery scan.
+	reclaimLeaks(leaf uint64)
+
+	// checkInvalidSlot / ownerToken support CheckInvariants: codec-specific
+	// invariants of invalid slots, and a token identifying shared key
+	// storage (each token must have exactly one owning slot).
+	checkInvalidSlot(leaf uint64, s int) error
+	ownerToken(leaf uint64, s int) (scm.PPtr, bool)
+
+	// nextAfter returns the smallest key greater than k, or ok=false when no
+	// such key exists (fixed u64 overflow). Used by the concurrent scan to
+	// hop past a separator upper bound.
+	nextAfter(k K) (K, bool)
+	// keyDRAMBytes estimates the DRAM cost of holding k in an inner node.
+	keyDRAMBytes(k K) uint64
+}
+
+// --- fixed-size keys ---------------------------------------------------------
+
+type fixedCodec struct {
+	pool *scm.Pool
+	lay  fixedLayout
+}
+
+func newFixedCodec(pool *scm.Pool, cfg Config) *fixedCodec {
+	return &fixedCodec{pool: pool, lay: newFixedLayoutV(cfg.LeafCap, cfg.Variant)}
+}
+
+func (c *fixedCodec) shape() leafShape {
+	return leafShape{cap: c.lay.cap, hasFP: c.lay.hasFP, offBitmap: c.lay.offBitmap, offNext: c.lay.offNext, size: c.lay.size}
+}
+
+func (c *fixedCodec) less(a, b uint64) bool       { return a < b }
+func (c *fixedCodec) fingerprint(k uint64) byte   { return hash1(k) }
+func (c *fixedCodec) validateKey(uint64) error    { return nil }
+
+func (c *fixedCodec) slotKey(leaf uint64, s int) uint64 {
+	return c.pool.ReadU64(c.lay.keyOff(leaf, s))
+}
+
+func (c *fixedCodec) slotKeyEquals(leaf uint64, s int, k uint64) bool {
+	return c.pool.ReadU64(c.lay.keyOff(leaf, s)) == k
+}
+
+func (c *fixedCodec) slotValue(leaf uint64, s int) uint64 {
+	return c.pool.ReadU64(c.lay.valOff(leaf, s))
+}
+
+func (c *fixedCodec) writeSlot(leaf uint64, slot int, k, v uint64) error {
+	c.pool.WriteU64(c.lay.keyOff(leaf, slot), k)
+	c.pool.WriteU64(c.lay.valOff(leaf, slot), v)
+	if c.lay.hasFP {
+		// Interleaved slot: key and value are contiguous, one flush covers
+		// both (the forks disagreed here — two flushes was pure overhead).
+		c.pool.Persist(c.lay.keyOff(leaf, slot), 16)
+	} else {
+		// PTree keeps separate key/value arrays; the two words land on
+		// different cache lines.
+		c.pool.Persist(c.lay.keyOff(leaf, slot), 8)
+		c.pool.Persist(c.lay.valOff(leaf, slot), 8)
+	}
+	return nil
+}
+
+func (c *fixedCodec) moveSlot(leaf uint64, slot, prev int, k, v uint64) {
+	c.writeSlot(leaf, slot, k, v) //nolint:errcheck // fixed writeSlot cannot fail
+}
+
+func (c *fixedCodec) afterUpdate(uint64, int)           {}
+func (c *fixedCodec) releaseSlotKey(uint64, int)        {}
+func (c *fixedCodec) afterSplitBitmaps(uint64, uint64)  {}
+func (c *fixedCodec) reclaimLeaks(uint64)               {}
+func (c *fixedCodec) checkInvalidSlot(uint64, int) error { return nil }
+
+func (c *fixedCodec) ownerToken(uint64, int) (scm.PPtr, bool) { return scm.PPtr{}, false }
+
+func (c *fixedCodec) nextAfter(k uint64) (uint64, bool) {
+	if k == ^uint64(0) {
+		return 0, false
+	}
+	return k + 1, true
+}
+
+func (c *fixedCodec) keyDRAMBytes(uint64) uint64 { return 8 }
+
+// --- variable-size keys ------------------------------------------------------
+
+type varCodec struct {
+	pool    *scm.Pool
+	lay     varLayout
+	valSize int
+}
+
+func newVarCodec(pool *scm.Pool, cfg Config) *varCodec {
+	return &varCodec{pool: pool, lay: newVarLayoutV(cfg.LeafCap, cfg.ValueSize, cfg.Variant), valSize: cfg.ValueSize}
+}
+
+func (c *varCodec) shape() leafShape {
+	return leafShape{cap: c.lay.cap, hasFP: c.lay.hasFP, offBitmap: c.lay.offBitmap, offNext: c.lay.offNext, size: c.lay.size}
+}
+
+func (c *varCodec) less(a, b []byte) bool     { return bytes.Compare(a, b) < 0 }
+func (c *varCodec) fingerprint(k []byte) byte { return hash1Bytes(k) }
+
+func (c *varCodec) validateKey(k []byte) error {
+	if len(k) == 0 {
+		return fmt.Errorf("fptree: empty key")
+	}
+	return nil
+}
+
+func (c *varCodec) slotPKey(leaf uint64, s int) scm.PPtr {
+	return c.pool.ReadPPtr(c.lay.pkeyOff(leaf, s))
+}
+
+func (c *varCodec) slotKLen(leaf uint64, s int) uint64 {
+	return c.pool.ReadU64(c.lay.klenOff(leaf, s))
+}
+
+// slotKey dereferences the slot's key pointer — the extra SCM cache miss
+// that makes fingerprints so valuable for string keys.
+func (c *varCodec) slotKey(leaf uint64, s int) []byte {
+	pk := c.slotPKey(leaf, s)
+	return c.pool.ReadBytes(pk.Offset, c.slotKLen(leaf, s))
+}
+
+func (c *varCodec) slotKeyEquals(leaf uint64, s int, k []byte) bool {
+	if c.slotKLen(leaf, s) != uint64(len(k)) {
+		return false
+	}
+	pk := c.slotPKey(leaf, s)
+	return c.pool.EqualBytes(pk.Offset, k)
+}
+
+func (c *varCodec) slotValue(leaf uint64, s int) []byte {
+	return c.pool.ReadBytes(c.lay.valOff(leaf, s), uint64(c.valSize))
+}
+
+// writeSlot performs lines 12-18 of Algorithm 14: persist the key length,
+// allocate and fill the key block (the allocator durably publishes it in the
+// slot's pointer cell, so a crash can never leak it), then persist the value.
+func (c *varCodec) writeSlot(leaf uint64, slot int, k, v []byte) error {
+	c.pool.WriteU64(c.lay.klenOff(leaf, slot), uint64(len(k)))
+	c.pool.Persist(c.lay.klenOff(leaf, slot), 8)
+	pk, err := c.pool.Alloc(c.lay.pkeyOff(leaf, slot), uint64(len(k)))
+	if err != nil {
+		return err
+	}
+	c.pool.WriteBytes(pk.Offset, k)
+	c.pool.Persist(pk.Offset, uint64(len(k)))
+	c.writeValue(leaf, slot, v)
+	return nil
+}
+
+func (c *varCodec) writeValue(leaf uint64, slot int, value []byte) {
+	buf := make([]byte, c.valSize)
+	copy(buf, value)
+	c.pool.WriteBytes(c.lay.valOff(leaf, slot), buf)
+	c.pool.Persist(c.lay.valOff(leaf, slot), uint64(len(buf)))
+}
+
+// moveSlot copies the previous slot's key pointer and length instead of
+// re-allocating the key (Algorithm 16): after the bitmap flip the key briefly
+// has two owners, which afterUpdate repairs.
+func (c *varCodec) moveSlot(leaf uint64, slot, prev int, k, v []byte) {
+	c.pool.WritePPtr(c.lay.pkeyOff(leaf, slot), c.slotPKey(leaf, prev))
+	c.pool.WriteU64(c.lay.klenOff(leaf, slot), c.slotKLen(leaf, prev))
+	c.pool.Persist(c.lay.pkeyOff(leaf, slot), scm.PPtrSize+8)
+	c.writeValue(leaf, slot, v)
+}
+
+// afterUpdate resets the old slot's reference so the key has exactly one
+// owner again (Algorithm 16, line 16).
+func (c *varCodec) afterUpdate(leaf uint64, prev int) {
+	c.pool.WritePPtr(c.lay.pkeyOff(leaf, prev), scm.PPtr{})
+	c.pool.Persist(c.lay.pkeyOff(leaf, prev), scm.PPtrSize)
+}
+
+// releaseSlotKey deallocates the key block through the slot's pointer cell
+// (which nulls it durably).
+func (c *varCodec) releaseSlotKey(leaf uint64, slot int) {
+	c.pool.Free(c.lay.pkeyOff(leaf, slot), c.slotKLen(leaf, slot))
+}
+
+// afterSplitBitmaps nulls the invalid slots' key pointers in both halves so
+// every key block has exactly one owning reference — otherwise the Algorithm
+// 17 leak scan could reclaim a key still referenced by the sibling leaf.
+func (c *varCodec) afterSplitBitmaps(leaf, newLeaf uint64) {
+	c.resetInvalidPKeys(leaf)
+	c.resetInvalidPKeys(newLeaf)
+}
+
+func (c *varCodec) resetInvalidPKeys(leaf uint64) {
+	bm := c.pool.ReadU64(leaf + c.lay.offBitmap)
+	for s := 0; s < c.lay.cap; s++ {
+		if bm&(1<<s) != 0 {
+			continue
+		}
+		if !c.slotPKey(leaf, s).IsNull() {
+			c.pool.WritePPtr(c.lay.pkeyOff(leaf, s), scm.PPtr{})
+			c.pool.Persist(c.lay.pkeyOff(leaf, s), scm.PPtrSize)
+		}
+	}
+}
+
+// reclaimLeaks is Algorithm 17: for every invalid slot with a non-null key
+// pointer, decide between the update-crash case (another valid slot in the
+// same leaf references the same key: reset the pointer) and the
+// insert/delete-crash case (no other reference: deallocate the key).
+func (c *varCodec) reclaimLeaks(leaf uint64) {
+	bm := c.pool.ReadU64(leaf + c.lay.offBitmap)
+	for s := 0; s < c.lay.cap; s++ {
+		if bm&(1<<s) != 0 {
+			continue
+		}
+		pk := c.slotPKey(leaf, s)
+		if pk.IsNull() {
+			continue
+		}
+		shared := false
+		for v := 0; v < c.lay.cap; v++ {
+			if bm&(1<<v) != 0 && c.slotPKey(leaf, v) == pk {
+				shared = true
+				break
+			}
+		}
+		if shared {
+			c.pool.WritePPtr(c.lay.pkeyOff(leaf, s), scm.PPtr{})
+			c.pool.Persist(c.lay.pkeyOff(leaf, s), scm.PPtrSize)
+		} else {
+			c.pool.Free(c.lay.pkeyOff(leaf, s), c.slotKLen(leaf, s))
+		}
+	}
+}
+
+func (c *varCodec) checkInvalidSlot(leaf uint64, s int) error {
+	if !c.slotPKey(leaf, s).IsNull() {
+		return fmt.Errorf("leaf %#x slot %d: invalid slot owns a key pointer", leaf, s)
+	}
+	return nil
+}
+
+func (c *varCodec) ownerToken(leaf uint64, s int) (scm.PPtr, bool) {
+	return c.slotPKey(leaf, s), true
+}
+
+func (c *varCodec) nextAfter(k []byte) ([]byte, bool) {
+	next := make([]byte, len(k)+1)
+	copy(next, k)
+	return next, true
+}
+
+func (c *varCodec) keyDRAMBytes(k []byte) uint64 { return uint64(len(k)) + 24 }

@@ -1,0 +1,65 @@
+package core
+
+import "fptree/internal/htm"
+
+// concurrency is the engine's synchronization template (Selective Concurrency,
+// paper §4.2; cf. Brown's HTM-template factoring). The engine always runs the
+// optimistic descend/validate/lock protocol; the controller decides whether
+// those primitives actually do anything. The single-threaded controller turns
+// every operation into a plain no-validation walk at zero cost, while the
+// speculative controller delegates to the htm package's version locks (inner
+// nodes) and leaf spinlocks, matching the paper's TSX-with-fallback scheme.
+type concurrency interface {
+	// concurrent reports whether real synchronization is in effect. The
+	// engine uses it to gate single-threaded-only behavior (probe counters,
+	// leaf groups, eager empty-leaf unlinking) — not for lock elision, which
+	// the controller itself handles.
+	concurrent() bool
+
+	// Inner-node version locks (htm.VersionLock discipline).
+	readBegin(l *htm.VersionLock) uint64
+	validate(l *htm.VersionLock, ver uint64) bool
+	lockNode(l *htm.VersionLock)
+	unlockNode(l *htm.VersionLock)       // bumps the version
+	unlockNodeNoBump(l *htm.VersionLock) // releases without invalidating readers
+
+	// Leaf locks (htm.RWSpin on the DRAM leafRef handle).
+	tryRLockLeaf(r *leafRef) bool
+	rUnlockLeaf(r *leafRef)
+	tryLockLeaf(r *leafRef) bool
+	lockLeaf(r *leafRef)
+	unlockLeaf(r *leafRef)
+}
+
+// nopCC is the single-threaded controller: every primitive is free and every
+// try-acquire succeeds, so the engine's optimistic loops run exactly once.
+type nopCC struct{}
+
+func (nopCC) concurrent() bool                           { return false }
+func (nopCC) readBegin(*htm.VersionLock) uint64          { return 0 }
+func (nopCC) validate(*htm.VersionLock, uint64) bool     { return true }
+func (nopCC) lockNode(*htm.VersionLock)                  {}
+func (nopCC) unlockNode(*htm.VersionLock)                {}
+func (nopCC) unlockNodeNoBump(*htm.VersionLock)          {}
+func (nopCC) tryRLockLeaf(*leafRef) bool                 { return true }
+func (nopCC) rUnlockLeaf(*leafRef)                       {}
+func (nopCC) tryLockLeaf(*leafRef) bool                  { return true }
+func (nopCC) lockLeaf(*leafRef)                          {}
+func (nopCC) unlockLeaf(*leafRef)                        {}
+
+// occCC is the concurrent controller: speculative validated descent over
+// per-node version locks plus fine-grained leaf spinlocks, the software
+// analogue of the paper's HTM sections with fallback.
+type occCC struct{}
+
+func (occCC) concurrent() bool                          { return true }
+func (occCC) readBegin(l *htm.VersionLock) uint64       { return l.ReadBegin() }
+func (occCC) validate(l *htm.VersionLock, v uint64) bool { return l.ReadValidate(v) }
+func (occCC) lockNode(l *htm.VersionLock)               { l.Lock() }
+func (occCC) unlockNode(l *htm.VersionLock)             { l.Unlock() }
+func (occCC) unlockNodeNoBump(l *htm.VersionLock)       { l.UnlockNoBump() }
+func (occCC) tryRLockLeaf(r *leafRef) bool              { return r.lk.TryRLock() }
+func (occCC) rUnlockLeaf(r *leafRef)                    { r.lk.RUnlock() }
+func (occCC) tryLockLeaf(r *leafRef) bool               { return r.lk.TryLock() }
+func (occCC) lockLeaf(r *leafRef)                       { r.lk.Lock() }
+func (occCC) unlockLeaf(r *leafRef)                     { r.lk.Unlock() }

@@ -1,13 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math"
-	"math/bits"
-	"sort"
-	"sync/atomic"
-
-	"fptree/internal/htm"
 	"fptree/internal/scm"
 )
 
@@ -21,47 +14,20 @@ import (
 // re-descend pessimistically with lock crabbing and split full nodes
 // preemptively. Leaf groups are not used: as the paper notes, they are a
 // central synchronization point that hinders scalability.
+//
+// CTree is a facade over the same generic engine as Tree — it pairs the
+// fixed-key codec with the speculative concurrency controller.
 type CTree struct {
-	pool *scm.Pool
-	cfg  Config
-	lay  fixedLayout
-	m    meta
-
-	anchor htm.VersionLock
-	root   atomic.Pointer[cInner[uint64]]
-
-	splitQ  chan int // free split micro-log indices
-	deleteQ chan int // free delete micro-log indices
-
-	// Stats counts optimistic aborts and restarts, mirroring TSX event
-	// counters.
-	Stats htm.Stats
-	// Ops counts in-leaf search and structure-modification events.
-	Ops OpStats
-
-	size atomic.Int64
+	*engine[uint64, uint64]
 }
 
 // CCreate formats a new concurrent FPTree in the pool.
 func CCreate(pool *scm.Pool, cfg Config) (*CTree, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	if cfg.Variant != VariantFPTree {
-		return nil, fmt.Errorf("fptree: only the FPTree variant has a concurrent implementation")
-	}
-	cfg.GroupSize = 0 // leaf groups hinder scalability; never used here
-	if !pool.Root().IsNull() {
-		return nil, fmt.Errorf("fptree: pool already contains a tree")
-	}
-	m, err := createMeta(pool, keyKindFixed, cfg)
+	e, err := createEngine(pool, cfg, keyKindFixed, fixedCodecOf, occCC{})
 	if err != nil {
 		return nil, err
 	}
-	t := &CTree{pool: pool, cfg: cfg, lay: newFixedLayout(cfg.LeafCap), m: m}
-	t.initQueues()
-	t.root.Store(newCInner[uint64](t.maxKids(), true))
-	return t, nil
+	return &CTree{e}, nil
 }
 
 // COpen recovers a concurrent FPTree: the allocator intent and every
@@ -69,667 +35,11 @@ func CCreate(pool *scm.Pool, cfg Config) (*CTree, error) {
 // nodes are rebuilt from the leaf list and all leaf locks are reset (fresh
 // handles), per Algorithm 9.
 func COpen(pool *scm.Pool) (*CTree, error) {
-	pool.Recover()
-	m, cfg, err := openMeta(pool, keyKindFixed)
+	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, occCC{})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	cfg.GroupSize = 0
-	t := &CTree{pool: pool, cfg: cfg, lay: newFixedLayout(cfg.LeafCap), m: m}
-	t.initQueues()
-
-	// Replay the micro-logs with the single-threaded machinery: recovery is
-	// single-threaded by nature and the persistent formats are identical.
-	rec := &Tree{pool: pool, cfg: cfg, lay: t.lay, m: m, recovering: true}
-	rec.fpBuf = make([]byte, cfg.LeafCap)
-	rec.groups.init(pool, m, t.lay.size, 0)
-	for i := 0; i < cfg.NumLogs; i++ {
-		rec.recoverSplit(m.splitLog(i))
-		rec.recoverDelete(m.deleteLog(i))
-	}
-	leaves, maxKeys, size := rec.collectLeaves()
-	t.size.Store(int64(size))
-	t.root.Store(buildCInner(leaves, maxKeys, t.maxKids()))
-	t.Ops.InnerRebuilds.Add(1)
-	return t, nil
-}
-
-func (t *CTree) initQueues() {
-	t.splitQ = make(chan int, t.cfg.NumLogs)
-	t.deleteQ = make(chan int, t.cfg.NumLogs)
-	for i := 0; i < t.cfg.NumLogs; i++ {
-		t.splitQ <- i
-		t.deleteQ <- i
-	}
-}
-
-func (t *CTree) maxKids() int { return t.cfg.InnerFanout + 1 }
-
-// Pool returns the SCM pool backing the tree.
-func (t *CTree) Pool() *scm.Pool { return t.pool }
-
-// Len returns the number of live keys.
-func (t *CTree) Len() int { return int(t.size.Load()) }
-
-func (t *CTree) fullBitmap() uint64 {
-	if t.cfg.LeafCap == 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << t.cfg.LeafCap) - 1
-}
-
-// buildCInner bulk-builds the concurrent DRAM part from the recovered leaf
-// list, packing nodes to at most ~90% so the first inserts do not
-// immediately split every node.
-func buildCInner(leaves []uint64, maxKeys []uint64, maxKids int) *cInner[uint64] {
-	width := maxKids * 9 / 10
-	if width < 2 {
-		width = 2
-	}
-	mk := func(leafSlice []uint64, keySlice []uint64) *cInner[uint64] {
-		n := newCInner[uint64](maxKids, true)
-		for i, off := range leafSlice {
-			n.leaves[i].Store(&leafRef{off: off})
-			if i < len(leafSlice)-1 {
-				k := keySlice[i]
-				n.keys[i].Store(&k)
-			}
-		}
-		n.cnt.Store(int32(len(leafSlice)))
-		return n
-	}
-	if len(leaves) == 0 {
-		return newCInner[uint64](maxKids, true)
-	}
-	var level []*cInner[uint64]
-	var seps []uint64
-	for at := 0; at < len(leaves); at += width {
-		end := at + width
-		if end > len(leaves) {
-			end = len(leaves)
-		}
-		level = append(level, mk(leaves[at:end], maxKeys[at:end]))
-		if end < len(leaves) {
-			seps = append(seps, maxKeys[end-1])
-		}
-	}
-	for len(level) > 1 {
-		var next []*cInner[uint64]
-		var nextSeps []uint64
-		for at := 0; at < len(level); at += width {
-			end := at + width
-			if end > len(level) {
-				end = len(level)
-			}
-			n := newCInner[uint64](maxKids, false)
-			for i := at; i < end; i++ {
-				n.kids[i-at].Store(level[i])
-				if i < end-1 {
-					k := seps[i]
-					n.keys[i-at].Store(&k)
-				}
-			}
-			n.cnt.Store(int32(end - at))
-			next = append(next, n)
-			if end < len(level) {
-				nextSeps = append(nextSeps, seps[end-1])
-			}
-		}
-		level, seps = next, nextSeps
-	}
-	return level[0]
-}
-
-// --- leaf persistence helpers (same formats as the single-threaded tree) ----
-
-func (t *CTree) leafBitmap(leaf uint64) uint64 { return t.pool.ReadU64(leaf + t.lay.offBitmap) }
-func (t *CTree) leafNext(leaf uint64) scm.PPtr { return t.pool.ReadPPtr(leaf + t.lay.offNext) }
-
-func (t *CTree) setLeafBitmap(leaf, bm uint64) {
-	t.pool.WriteU64(leaf+t.lay.offBitmap, bm)
-	t.pool.Persist(leaf+t.lay.offBitmap, 8)
-}
-
-func (t *CTree) setLeafNext(leaf uint64, p scm.PPtr) {
-	t.pool.WritePPtr(leaf+t.lay.offNext, p)
-	t.pool.Persist(leaf+t.lay.offNext, scm.PPtrSize)
-}
-
-func (t *CTree) findInLeaf(leaf, key uint64) (int, bool) {
-	var buf [MaxLeafCap]byte
-	bm := t.leafBitmap(leaf)
-	t.pool.ReadInto(leaf, buf[:t.cfg.LeafCap])
-	fp := hash1(key)
-	slot := -1
-	var compares, hits, falsePos uint64
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		compares++
-		if buf[s] != fp {
-			continue
-		}
-		hits++
-		if t.pool.ReadU64(t.lay.keyOff(leaf, s)) == key {
-			slot = s
-			break
-		}
-		falsePos++
-	}
-	t.Ops.noteSearch(compares, hits, falsePos, hits)
-	return slot, slot >= 0
-}
-
-func (t *CTree) insertIntoLeaf(leaf, bm, key, value uint64) {
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WriteU64(t.lay.keyOff(leaf, slot), key)
-	t.pool.WriteU64(t.lay.valOff(leaf, slot), value)
-	t.pool.Persist(t.lay.keyOff(leaf, slot), 16)
-	t.pool.WriteU8(leaf+uint64(slot), hash1(key))
-	t.pool.Persist(leaf+uint64(slot), 1)
-	t.setLeafBitmap(leaf, bm|(1<<slot))
-}
-
-func (t *CTree) completeSplit(leaf, newLeaf uint64) uint64 {
-	buf := t.pool.ReadBytes(leaf, t.lay.size)
-	t.pool.WriteBytes(newLeaf, buf)
-	t.pool.Persist(newLeaf, t.lay.size)
-
-	splitKey, newBm := t.findSplitKey(leaf)
-	t.setLeafBitmap(newLeaf, newBm)
-	t.setLeafBitmap(leaf, t.fullBitmap()&^newBm)
-	t.setLeafNext(leaf, scm.PPtr{ArenaID: t.pool.ID(), Offset: newLeaf})
-	return splitKey
-}
-
-func (t *CTree) findSplitKey(leaf uint64) (uint64, uint64) {
-	m := t.cfg.LeafCap
-	var keys [MaxLeafCap]uint64
-	var idxs [MaxLeafCap]int
-	for s := 0; s < m; s++ {
-		keys[s] = t.pool.ReadU64(t.lay.keyOff(leaf, s))
-		idxs[s] = s
-	}
-	sl := idxs[:m]
-	sort.Slice(sl, func(i, j int) bool { return keys[sl[i]] < keys[sl[j]] })
-	keep := (m + 1) / 2
-	splitKey := keys[sl[keep-1]]
-	var newBm uint64
-	for _, s := range sl[keep:] {
-		newBm |= 1 << s
-	}
-	return splitKey, newBm
-}
-
-// --- optimistic descent -------------------------------------------------------
-
-// descend optimistically walks to the leaf covering key (Figure 6: the
-// traversal is the HTM-transaction part). On success it returns the locked
-// version snapshot of the leaf parent, the child index and the leaf handle;
-// ok=false means a conflict was observed and the caller must restart.
-func (t *CTree) descend(key uint64) (n *cInner[uint64], ver uint64, idx int, ref *leafRef, ok bool) {
-	av := t.anchor.ReadBegin()
-	n = t.root.Load()
-	ver = n.lock.ReadBegin()
-	if !t.anchor.ReadValidate(av) {
-		return nil, 0, 0, nil, false
-	}
-	for {
-		i, sok := n.search(key, lessU64)
-		if !sok || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		if n.leafParent {
-			if n.cnt.Load() == 0 {
-				return n, ver, 0, nil, true // empty tree
-			}
-			r := n.leaves[i].Load()
-			if r == nil || !n.lock.ReadValidate(ver) {
-				return nil, 0, 0, nil, false
-			}
-			return n, ver, i, r, true
-		}
-		child := n.kids[i].Load()
-		if child == nil || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		cver := child.lock.ReadBegin()
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		n, ver = child, cver
-	}
-}
-
-func (t *CTree) abort() {
-	t.pool.PanicIfCrashed()
-	t.Stats.Aborts.Add(1)
-	t.Stats.Restarts.Add(1)
-}
-
-// Find returns the value stored under key (Algorithm 1). The leaf is read
-// under its shared lock; a locked or concurrently modified path aborts and
-// retries, as a TSX conflict would.
-func (t *CTree) Find(key uint64) (uint64, bool) {
-	for {
-		n, ver, _, ref, ok := t.descend(key)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return 0, false // empty tree
-		}
-		if !ref.lk.TryRLock() {
-			t.abort()
-			continue
-		}
-		if !n.lock.ReadValidate(ver) {
-			ref.lk.RUnlock()
-			t.abort()
-			continue
-		}
-		s, found := t.findInLeaf(ref.off, key)
-		var v uint64
-		if found {
-			v = t.pool.ReadU64(t.lay.valOff(ref.off, s))
-		}
-		ref.lk.RUnlock()
-		return v, found
-	}
-}
-
-// Insert adds a key-value pair (Algorithm 2). The fast path locks only the
-// leaf; a split performs the persistent work outside any inner-node lock and
-// then re-descends pessimistically to update the parents.
-func (t *CTree) Insert(key, value uint64) error {
-	for {
-		n, ver, _, ref, ok := t.descend(key)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			if err := t.firstLeaf(n); err != nil {
-				return err
-			}
-			continue
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		bm := t.leafBitmap(ref.off)
-		if bm != t.fullBitmap() {
-			t.insertIntoLeaf(ref.off, bm, key, value)
-			ref.lk.Unlock()
-			t.size.Add(1)
-			return nil
-		}
-		// Split: persistent part first (outside any inner lock), then the
-		// parent update in a pessimistic SMO descent.
-		splitKey, newRef, err := t.splitLeaf(ref)
-		if err != nil {
-			ref.lk.Unlock()
-			return err
-		}
-		t.insertSMO(splitKey, ref, newRef)
-		target := ref
-		if key > splitKey {
-			target = newRef
-		}
-		t.insertIntoLeaf(target.off, t.leafBitmap(target.off), key, value)
-		ref.lk.Unlock()
-		newRef.lk.Unlock()
-		t.size.Add(1)
-		return nil
-	}
-}
-
-// firstLeaf materializes the head leaf under the root lock.
-func (t *CTree) firstLeaf(root *cInner[uint64]) error {
-	t.anchor.Lock()
-	r := t.root.Load()
-	r.lock.Lock()
-	if r != root || r.cnt.Load() != 0 {
-		r.lock.UnlockNoBump()
-		t.anchor.UnlockNoBump()
-		return nil // someone else created it; retry the insert
-	}
-	ptr, err := t.pool.Alloc(t.m.base+mOffHeadLeaf, t.lay.size)
-	if err != nil {
-		r.lock.UnlockNoBump()
-		t.anchor.UnlockNoBump()
-		return err
-	}
-	r.leaves[0].Store(&leafRef{off: ptr.Offset})
-	r.cnt.Store(1)
-	r.lock.Unlock()
-	t.anchor.UnlockNoBump()
-	return nil
-}
-
-// splitLeaf is Algorithm 3 under a micro-log drawn from the lock-free queue.
-// The new leaf's handle is born write-locked; the caller publishes it to the
-// parents and unlocks both halves.
-func (t *CTree) splitLeaf(ref *leafRef) (uint64, *leafRef, error) {
-	li := <-t.splitQ
-	log := t.m.splitLog(li)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: ref.off})
-	if _, err := t.pool.Alloc(log.bOff(), t.lay.size); err != nil {
-		log.reset()
-		t.splitQ <- li
-		return 0, nil, err
-	}
-	newOff := log.b().Offset
-	splitKey := t.completeSplit(ref.off, newOff)
-	log.reset()
-	t.splitQ <- li
-	t.Ops.LeafSplits.Add(1)
-	newRef := &leafRef{off: newOff}
-	newRef.lk.Lock()
-	return splitKey, newRef, nil
-}
-
-// insertSMO inserts (splitKey, newRef) into the leaf parent covering the
-// locked leaf oldRef, splitting full nodes preemptively on the way down with
-// lock crabbing. Because oldRef stays locked for the whole operation, the
-// leaf's key range cannot change and the descent deterministically lands on
-// its parent.
-func (t *CTree) insertSMO(splitKey uint64, oldRef, newRef *leafRef) {
-	t.anchor.Lock()
-	cur := t.root.Load()
-	cur.lock.Lock()
-	if cur.full() {
-		up, right := cur.splitNode()
-		nr := newCInner[uint64](t.maxKids(), false)
-		nr.kids[0].Store(cur)
-		nr.kids[1].Store(right)
-		nr.keys[0].Store(&up)
-		nr.cnt.Store(2)
-		t.root.Store(nr)
-		t.anchor.Unlock()
-		if splitKey > up {
-			cur.lock.Unlock()
-			cur = right
-			cur.lock.Lock() // fresh node: no contention
-		}
-	} else {
-		t.anchor.UnlockNoBump()
-	}
-	for !cur.leafParent {
-		i, _ := cur.search(splitKey, lessU64)
-		child := cur.kids[i].Load()
-		child.lock.Lock()
-		if child.full() {
-			up, right := child.splitNode()
-			cur.insertAt(i, up, right, nil)
-			if splitKey > up {
-				child.lock.Unlock()
-				child = right
-				child.lock.Lock()
-			}
-		}
-		cur.lock.Unlock()
-		cur = child
-	}
-	i, _ := cur.search(splitKey, lessU64)
-	if got := cur.leaves[i].Load(); got != oldRef {
-		panic("fptree: SMO descent lost the split leaf")
-	}
-	cur.insertAt(i, splitKey, nil, newRef)
-	cur.lock.Unlock()
-}
-
-// Update is Algorithm 8: one p-atomic bitmap write moves the record to a
-// fresh slot with the new value.
-func (t *CTree) Update(key, value uint64) (bool, error) {
-	for {
-		n, ver, _, ref, ok := t.descend(key)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return false, nil
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		prev, found := t.findInLeaf(ref.off, key)
-		if !found {
-			ref.lk.Unlock()
-			return false, nil
-		}
-		bm := t.leafBitmap(ref.off)
-		target := ref
-		var newRef *leafRef
-		if bm == t.fullBitmap() {
-			splitKey, nr, err := t.splitLeaf(ref)
-			if err != nil {
-				ref.lk.Unlock()
-				return false, err
-			}
-			newRef = nr
-			t.insertSMO(splitKey, ref, newRef)
-			if key > splitKey {
-				target = newRef
-			}
-			bm = t.leafBitmap(target.off)
-			prev, _ = t.findInLeaf(target.off, key)
-		}
-		slot := bits.TrailingZeros64(^bm)
-		t.pool.WriteU64(t.lay.keyOff(target.off, slot), key)
-		t.pool.WriteU64(t.lay.valOff(target.off, slot), value)
-		t.pool.Persist(t.lay.keyOff(target.off, slot), 16)
-		t.pool.WriteU8(target.off+uint64(slot), hash1(key))
-		t.pool.Persist(target.off+uint64(slot), 1)
-		t.setLeafBitmap(target.off, bm&^(1<<prev)|(1<<slot))
-		ref.lk.Unlock()
-		if newRef != nil {
-			newRef.lk.Unlock()
-		}
-		return true, nil
-	}
-}
-
-// Upsert inserts the pair or updates it in place when the key exists.
-func (t *CTree) Upsert(key, value uint64) error {
-	ok, err := t.Update(key, value)
-	if err != nil || ok {
-		return err
-	}
-	return t.Insert(key, value)
-}
-
-// Delete removes key (Algorithm 5). Clearing a non-last key is one p-atomic
-// bitmap write under the leaf lock. Removing a leaf's last key unlinks and
-// deallocates the leaf when its left neighbor is adjacent in the same parent
-// (or when the leaf is the list head); otherwise the empty leaf stays linked
-// and is reused by later inserts into its range and reclaimed on recovery —
-// the concurrent left-neighbor hunt across subtrees is not worth its locks.
-func (t *CTree) Delete(key uint64) (bool, error) {
-	for {
-		n, ver, _, ref, ok := t.descend(key)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return false, nil
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		slot, found := t.findInLeaf(ref.off, key)
-		if !found {
-			ref.lk.Unlock()
-			return false, nil
-		}
-		bm := t.leafBitmap(ref.off)
-		if bm&^(1<<slot) != 0 {
-			t.setLeafBitmap(ref.off, bm&^(1<<slot))
-			ref.lk.Unlock()
-			t.size.Add(-1)
-			return true, nil
-		}
-		// Last key: try to remove the whole leaf.
-		if !t.deleteSMO(key, ref) {
-			// Could not take the neighbor locks (or leftmost-in-parent):
-			// leave the leaf empty but linked.
-			t.setLeafBitmap(ref.off, 0)
-			ref.lk.Unlock()
-		}
-		t.size.Add(-1)
-		return true, nil
-	}
-}
-
-// deleteSMO removes the locked, about-to-be-empty leaf from the tree:
-// pessimistic crabbing descent, removal from the leaf parent (pruning
-// emptied ancestors and collapsing the root), then the persistent unlink and
-// deallocation under a delete micro-log (Algorithm 6). Returns false when
-// the leaf must stay (left neighbor unavailable).
-func (t *CTree) deleteSMO(key uint64, ref *leafRef) bool {
-	t.anchor.Lock()
-	anchorHeld := true
-	root := t.root.Load()
-	root.lock.Lock()
-	stack := []*cInner[uint64]{root}
-	release := func(modified int) {
-		// Unlock stack nodes; indexes >= modified were changed.
-		for i, nd := range stack {
-			if i >= modified {
-				nd.lock.Unlock()
-			} else {
-				nd.lock.UnlockNoBump()
-			}
-		}
-		if anchorHeld {
-			t.anchor.UnlockNoBump()
-		}
-	}
-	cur := root
-	if cur.leafParent || cur.cnt.Load() > 2 {
-		t.anchor.UnlockNoBump()
-		anchorHeld = false
-	}
-	for !cur.leafParent {
-		i, _ := cur.search(key, lessU64)
-		child := cur.kids[i].Load()
-		child.lock.Lock()
-		stack = append(stack, child)
-		if child.cnt.Load() >= 2 {
-			// Safe: removal below cannot empty this child; release ancestors.
-			for _, nd := range stack[:len(stack)-1] {
-				nd.lock.UnlockNoBump()
-			}
-			if anchorHeld {
-				t.anchor.UnlockNoBump()
-				anchorHeld = false
-			}
-			stack = stack[len(stack)-1:]
-		}
-		cur = child
-	}
-	i, _ := cur.search(key, lessU64)
-	if got := cur.leaves[i].Load(); got != ref {
-		panic("fptree: delete SMO descent lost the leaf")
-	}
-	isHead := t.m.headLeaf().Offset == ref.off
-	var prevRef *leafRef
-	if !isHead {
-		if i == 0 {
-			release(len(stack)) // leftmost in parent and not list head: bail
-			return false
-		}
-		prevRef = cur.leaves[i-1].Load()
-		if !prevRef.lk.TryLock() {
-			release(len(stack))
-			return false
-		}
-	}
-	// DRAM removal: prune emptied nodes bottom-up along the locked chain.
-	cur.removeAt(i)
-	modified := len(stack) - 1
-	for level := len(stack) - 1; level > 0 && stack[level].cnt.Load() == 0; level-- {
-		parent := stack[level-1]
-		j, _ := parent.search(key, lessU64)
-		parent.removeAt(j)
-		modified = level - 1
-	}
-	// Root collapse: keep the height minimal.
-	if anchorHeld {
-		r := stack[0]
-		for !r.leafParent && r.cnt.Load() == 1 {
-			r = r.kids[0].Load()
-			t.root.Store(r)
-		}
-		if r != stack[0] {
-			for i, nd := range stack {
-				if i >= modified {
-					nd.lock.Unlock()
-				} else {
-					nd.lock.UnlockNoBump()
-				}
-			}
-			t.anchor.Unlock()
-			anchorHeld = false
-			stack = nil
-		}
-	}
-	if stack != nil {
-		for i, nd := range stack {
-			if i >= modified {
-				nd.lock.Unlock()
-			} else {
-				nd.lock.UnlockNoBump()
-			}
-		}
-		if anchorHeld {
-			t.anchor.UnlockNoBump()
-		}
-	}
-
-	// Persistent unlink + deallocation (Algorithm 6).
-	li := <-t.deleteQ
-	log := t.m.deleteLog(li)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: ref.off})
-	if isHead {
-		t.m.setHeadLeaf(t.leafNext(ref.off))
-	} else {
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: prevRef.off})
-		t.setLeafNext(prevRef.off, t.leafNext(ref.off))
-	}
-	ref.dead.Store(true) // handle stays locked forever
-	t.pool.Free(log.aOff(), t.lay.size)
-	log.reset()
-	t.deleteQ <- li
-	if prevRef != nil {
-		prevRef.lk.Unlock()
-	}
-	return true
+	return &CTree{e}, nil
 }
 
 // Scan visits live pairs with key >= from in ascending order until fn
@@ -738,102 +48,7 @@ func (t *CTree) deleteSMO(key uint64, ref *leafRef) bool {
 // be reused under the reader); it seeks leaf by leaf through the inner
 // nodes, using the separators to find each leaf's upper bound.
 func (t *CTree) Scan(from uint64, fn func(KV) bool) {
-	cur := from
-	var batch []KV
-	for {
-		batch = batch[:0]
-		ub := uint64(math.MaxUint64)
-		ok := func() bool {
-			n, ver, idx, ref, dok := t.descendUB(cur, &ub)
-			if !dok {
-				return false
-			}
-			if ref == nil {
-				return true // empty tree
-			}
-			if !ref.lk.TryRLock() {
-				return false
-			}
-			if !n.lock.ReadValidate(ver) {
-				ref.lk.RUnlock()
-				return false
-			}
-			_ = idx
-			bm := t.leafBitmap(ref.off)
-			for s := 0; s < t.cfg.LeafCap; s++ {
-				if bm&(1<<s) == 0 {
-					continue
-				}
-				if k := t.pool.ReadU64(t.lay.keyOff(ref.off, s)); k >= cur {
-					batch = append(batch, KV{k, t.pool.ReadU64(t.lay.valOff(ref.off, s))})
-				}
-			}
-			ref.lk.RUnlock()
-			return true
-		}()
-		if !ok {
-			t.abort()
-			continue
-		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key })
-		for _, kv := range batch {
-			if !fn(kv) {
-				return
-			}
-		}
-		if ub == math.MaxUint64 {
-			return // rightmost leaf done
-		}
-		cur = ub + 1
-	}
-}
-
-// descendUB is descend plus tracking of the tightest right-hand separator on
-// the path: the reached leaf covers no key greater than *ub.
-func (t *CTree) descendUB(key uint64, ub *uint64) (n *cInner[uint64], ver uint64, idx int, ref *leafRef, ok bool) {
-	av := t.anchor.ReadBegin()
-	n = t.root.Load()
-	ver = n.lock.ReadBegin()
-	if !t.anchor.ReadValidate(av) {
-		return nil, 0, 0, nil, false
-	}
-	for {
-		i, sok := n.search(key, lessU64)
-		if !sok {
-			return nil, 0, 0, nil, false
-		}
-		if i < int(n.cnt.Load())-1 {
-			kp := n.keys[i].Load()
-			if kp == nil {
-				return nil, 0, 0, nil, false
-			}
-			if *kp < *ub {
-				*ub = *kp
-			}
-		}
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		if n.leafParent {
-			if n.cnt.Load() == 0 {
-				return n, ver, 0, nil, true
-			}
-			r := n.leaves[i].Load()
-			if r == nil || !n.lock.ReadValidate(ver) {
-				return nil, 0, 0, nil, false
-			}
-			return n, ver, i, r, true
-		}
-		child := n.kids[i].Load()
-		if child == nil || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		cver := child.lock.ReadBegin()
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		n, ver = child, cver
-	}
+	t.engine.scan(from, func(k, v uint64) bool { return fn(KV{k, v}) })
 }
 
 // ScanN returns up to n pairs with key >= from.
@@ -844,63 +59,4 @@ func (t *CTree) ScanN(from uint64, n int) []KV {
 		return len(out) < n
 	})
 	return out
-}
-
-// CheckInvariants validates the tree structure. It must only be called
-// while no concurrent operations are in flight.
-func (t *CTree) CheckInvariants() error {
-	// Persistent side: walk the leaf list, keys ordered between leaves
-	// (empty leaves are permitted: deferred deletions).
-	var prevMax uint64
-	havePrev := false
-	n := 0
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		var lo, hi uint64
-		lo = math.MaxUint64
-		cnt := 0
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.pool.ReadU64(t.lay.keyOff(leaf, s))
-			if fp := t.pool.ReadU8(leaf + uint64(s)); fp != hash1(k) {
-				return fmt.Errorf("leaf %#x slot %d: fingerprint mismatch", leaf, s)
-			}
-			if k < lo {
-				lo = k
-			}
-			if k > hi {
-				hi = k
-			}
-			cnt++
-			n++
-		}
-		if cnt > 0 {
-			if havePrev && lo <= prevMax {
-				return fmt.Errorf("leaf %#x: min %d <= prev max %d", leaf, lo, prevMax)
-			}
-			prevMax, havePrev = hi, true
-		}
-	}
-	if n != t.Len() {
-		return fmt.Errorf("leaf list holds %d keys, tree reports %d", n, t.Len())
-	}
-	// Transient side: every key reachable by Find.
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.pool.ReadU64(t.lay.keyOff(leaf, s))
-			v, found := t.Find(k)
-			if !found || v != t.pool.ReadU64(t.lay.valOff(leaf, s)) {
-				return fmt.Errorf("key %d in leaf %#x unreachable via descent", k, leaf)
-			}
-		}
-	}
-	return nil
 }

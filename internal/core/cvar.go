@@ -1,836 +1,40 @@
 package core
 
 import (
-	"bytes"
-	"fmt"
-	"math/bits"
-	"sort"
-	"sync/atomic"
-
-	"fptree/internal/htm"
 	"fptree/internal/scm"
 )
 
-// CVarTree is the concurrent variable-size-key FPTree (Appendix C +
-// Selective Concurrency). Inner-node separators are Go strings in DRAM;
-// leaf slots hold persistent pointers to separately allocated key blocks,
-// exactly as in the single-threaded VarTree. Concurrency control mirrors
-// CTree: optimistic validated descents for the transient part, fine-grained
-// leaf locks plus micro-logs for the persistent part.
+// CVarTree is the concurrent variable-size-key FPTree: the Appendix C leaf
+// format under the Selective Concurrency scheme of Section 4.2. It is a
+// facade over the same generic engine as the other three variants — the
+// variable-key codec paired with the speculative concurrency controller.
 type CVarTree struct {
-	pool *scm.Pool
-	cfg  Config
-	lay  varLayout
-	m    meta
-
-	anchor htm.VersionLock
-	root   atomic.Pointer[cInner[string]]
-
-	splitQ  chan int
-	deleteQ chan int
-
-	// Stats counts optimistic aborts and restarts.
-	Stats htm.Stats
-	// Ops counts in-leaf search and structure-modification events.
-	Ops OpStats
-
-	size atomic.Int64
+	*engine[[]byte, []byte]
 }
-
-func lessStr(a, b string) bool { return a < b }
 
 // CCreateVar formats a new concurrent variable-size-key FPTree.
 func CCreateVar(pool *scm.Pool, cfg Config) (*CVarTree, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	if cfg.Variant != VariantFPTree {
-		return nil, fmt.Errorf("fptree: only the FPTree variant has a concurrent implementation")
-	}
-	cfg.GroupSize = 0
-	if !pool.Root().IsNull() {
-		return nil, fmt.Errorf("fptree: pool already contains a tree")
-	}
-	m, err := createMeta(pool, keyKindVar, cfg)
+	e, err := createEngine(pool, cfg, keyKindVar, varCodecOf, occCC{})
 	if err != nil {
 		return nil, err
 	}
-	t := &CVarTree{pool: pool, cfg: cfg, lay: newVarLayout(cfg.LeafCap, cfg.ValueSize), m: m}
-	t.initQueues()
-	t.root.Store(newCInner[string](t.maxKids(), true))
-	return t, nil
+	return &CVarTree{e}, nil
 }
 
-// COpenVar recovers a concurrent variable-size-key FPTree, replaying all
-// micro-logs and the Algorithm 17 leak scan before rebuilding inner nodes.
+// COpenVar recovers a concurrent variable-size-key FPTree (Algorithm 9 plus
+// the Algorithm 17 leak scan).
 func COpenVar(pool *scm.Pool) (*CVarTree, error) {
-	pool.Recover()
-	m, cfg, err := openMeta(pool, keyKindVar)
+	e, err := openEngine(pool, keyKindVar, varCodecOf, occCC{})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	cfg.GroupSize = 0
-	t := &CVarTree{pool: pool, cfg: cfg, lay: newVarLayout(cfg.LeafCap, cfg.ValueSize), m: m}
-	t.initQueues()
-
-	rec := &VarTree{pool: pool, cfg: cfg, lay: t.lay, m: m, recovering: true}
-	rec.fpBuf = make([]byte, cfg.LeafCap)
-	rec.groups.init(pool, m, t.lay.size, 0)
-	for i := 0; i < cfg.NumLogs; i++ {
-		rec.recoverSplit(m.splitLog(i))
-		rec.recoverDelete(m.deleteLog(i))
-	}
-	leaves, maxKeys, size := rec.collectLeaves()
-	t.size.Store(int64(size))
-	t.root.Store(buildCVarInner(leaves, maxKeys, t.maxKids()))
-	t.Ops.InnerRebuilds.Add(1)
-	return t, nil
-}
-
-func (t *CVarTree) initQueues() {
-	t.splitQ = make(chan int, t.cfg.NumLogs)
-	t.deleteQ = make(chan int, t.cfg.NumLogs)
-	for i := 0; i < t.cfg.NumLogs; i++ {
-		t.splitQ <- i
-		t.deleteQ <- i
-	}
-}
-
-func (t *CVarTree) maxKids() int { return t.cfg.InnerFanout + 1 }
-
-// Pool returns the SCM pool backing the tree.
-func (t *CVarTree) Pool() *scm.Pool { return t.pool }
-
-// Len returns the number of live keys.
-func (t *CVarTree) Len() int { return int(t.size.Load()) }
-
-func (t *CVarTree) fullBitmap() uint64 {
-	if t.cfg.LeafCap == 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << t.cfg.LeafCap) - 1
-}
-
-func buildCVarInner(leaves []uint64, maxKeys [][]byte, maxKids int) *cInner[string] {
-	width := maxKids * 9 / 10
-	if width < 2 {
-		width = 2
-	}
-	if len(leaves) == 0 {
-		return newCInner[string](maxKids, true)
-	}
-	var level []*cInner[string]
-	var seps []string
-	for at := 0; at < len(leaves); at += width {
-		end := at + width
-		if end > len(leaves) {
-			end = len(leaves)
-		}
-		n := newCInner[string](maxKids, true)
-		for i := at; i < end; i++ {
-			n.leaves[i-at].Store(&leafRef{off: leaves[i]})
-			if i < end-1 {
-				k := string(maxKeys[i])
-				n.keys[i-at].Store(&k)
-			}
-		}
-		n.cnt.Store(int32(end - at))
-		level = append(level, n)
-		if end < len(leaves) {
-			seps = append(seps, string(maxKeys[end-1]))
-		}
-	}
-	for len(level) > 1 {
-		var next []*cInner[string]
-		var nextSeps []string
-		for at := 0; at < len(level); at += width {
-			end := at + width
-			if end > len(level) {
-				end = len(level)
-			}
-			n := newCInner[string](maxKids, false)
-			for i := at; i < end; i++ {
-				n.kids[i-at].Store(level[i])
-				if i < end-1 {
-					k := seps[i]
-					n.keys[i-at].Store(&k)
-				}
-			}
-			n.cnt.Store(int32(end - at))
-			next = append(next, n)
-			if end < len(level) {
-				nextSeps = append(nextSeps, seps[end-1])
-			}
-		}
-		level, seps = next, nextSeps
-	}
-	return level[0]
-}
-
-// --- leaf persistence helpers -------------------------------------------------
-
-func (t *CVarTree) leafBitmap(leaf uint64) uint64 { return t.pool.ReadU64(leaf + t.lay.offBitmap) }
-func (t *CVarTree) leafNext(leaf uint64) scm.PPtr { return t.pool.ReadPPtr(leaf + t.lay.offNext) }
-
-func (t *CVarTree) setLeafBitmap(leaf, bm uint64) {
-	t.pool.WriteU64(leaf+t.lay.offBitmap, bm)
-	t.pool.Persist(leaf+t.lay.offBitmap, 8)
-}
-
-func (t *CVarTree) setLeafNext(leaf uint64, p scm.PPtr) {
-	t.pool.WritePPtr(leaf+t.lay.offNext, p)
-	t.pool.Persist(leaf+t.lay.offNext, scm.PPtrSize)
-}
-
-func (t *CVarTree) slotKeyEquals(leaf uint64, s int, key []byte) bool {
-	if t.pool.ReadU64(t.lay.klenOff(leaf, s)) != uint64(len(key)) {
-		return false
-	}
-	pk := t.pool.ReadPPtr(t.lay.pkeyOff(leaf, s))
-	return t.pool.EqualBytes(pk.Offset, key)
-}
-
-func (t *CVarTree) slotKey(leaf uint64, s int) []byte {
-	pk := t.pool.ReadPPtr(t.lay.pkeyOff(leaf, s))
-	return t.pool.ReadBytes(pk.Offset, t.pool.ReadU64(t.lay.klenOff(leaf, s)))
-}
-
-func (t *CVarTree) findInLeaf(leaf uint64, key []byte) (int, bool) {
-	var buf [MaxLeafCap]byte
-	bm := t.leafBitmap(leaf)
-	t.pool.ReadInto(leaf, buf[:t.cfg.LeafCap])
-	fp := hash1Bytes(key)
-	slot := -1
-	var compares, hits, falsePos uint64
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		compares++
-		if buf[s] != fp {
-			continue
-		}
-		hits++
-		if t.slotKeyEquals(leaf, s, key) {
-			slot = s
-			break
-		}
-		falsePos++
-	}
-	t.Ops.noteSearch(compares, hits, falsePos, hits)
-	return slot, slot >= 0
-}
-
-func (t *CVarTree) writeValue(leaf uint64, slot int, value []byte) {
-	buf := make([]byte, t.cfg.ValueSize)
-	copy(buf, value)
-	t.pool.WriteBytes(t.lay.valOff(leaf, slot), buf)
-	t.pool.Persist(t.lay.valOff(leaf, slot), uint64(len(buf)))
-}
-
-func (t *CVarTree) insertIntoLeaf(leaf, bm uint64, key, value []byte) error {
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WriteU64(t.lay.klenOff(leaf, slot), uint64(len(key)))
-	t.pool.Persist(t.lay.klenOff(leaf, slot), 8)
-	pk, err := t.pool.Alloc(t.lay.pkeyOff(leaf, slot), uint64(len(key)))
-	if err != nil {
-		return err
-	}
-	t.pool.WriteBytes(pk.Offset, key)
-	t.pool.Persist(pk.Offset, uint64(len(key)))
-	t.writeValue(leaf, slot, value)
-	t.pool.WriteU8(leaf+uint64(slot), hash1Bytes(key))
-	t.pool.Persist(leaf+uint64(slot), 1)
-	t.setLeafBitmap(leaf, bm|(1<<slot))
-	return nil
-}
-
-func (t *CVarTree) completeSplit(leaf, newLeaf uint64) []byte {
-	buf := t.pool.ReadBytes(leaf, t.lay.size)
-	t.pool.WriteBytes(newLeaf, buf)
-	t.pool.Persist(newLeaf, t.lay.size)
-
-	splitKey, newBm := t.findSplitKey(leaf)
-	t.setLeafBitmap(newLeaf, newBm)
-	t.setLeafBitmap(leaf, t.fullBitmap()&^newBm)
-	t.resetInvalidPKeys(leaf)
-	t.resetInvalidPKeys(newLeaf)
-	t.setLeafNext(leaf, scm.PPtr{ArenaID: t.pool.ID(), Offset: newLeaf})
-	return splitKey
-}
-
-func (t *CVarTree) resetInvalidPKeys(leaf uint64) {
-	bm := t.leafBitmap(leaf)
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) != 0 {
-			continue
-		}
-		if !t.pool.ReadPPtr(t.lay.pkeyOff(leaf, s)).IsNull() {
-			t.pool.WritePPtr(t.lay.pkeyOff(leaf, s), scm.PPtr{})
-			t.pool.Persist(t.lay.pkeyOff(leaf, s), scm.PPtrSize)
-		}
-	}
-}
-
-func (t *CVarTree) findSplitKey(leaf uint64) ([]byte, uint64) {
-	m := t.cfg.LeafCap
-	keys := make([][]byte, m)
-	idxs := make([]int, m)
-	for s := 0; s < m; s++ {
-		keys[s] = t.slotKey(leaf, s)
-		idxs[s] = s
-	}
-	sort.Slice(idxs, func(i, j int) bool { return bytes.Compare(keys[idxs[i]], keys[idxs[j]]) < 0 })
-	keep := (m + 1) / 2
-	splitKey := keys[idxs[keep-1]]
-	var newBm uint64
-	for _, s := range idxs[keep:] {
-		newBm |= 1 << s
-	}
-	return splitKey, newBm
-}
-
-// --- optimistic descent -------------------------------------------------------
-
-func (t *CVarTree) descend(key string) (n *cInner[string], ver uint64, idx int, ref *leafRef, ok bool) {
-	av := t.anchor.ReadBegin()
-	n = t.root.Load()
-	ver = n.lock.ReadBegin()
-	if !t.anchor.ReadValidate(av) {
-		return nil, 0, 0, nil, false
-	}
-	for {
-		i, sok := n.search(key, lessStr)
-		if !sok || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		if n.leafParent {
-			if n.cnt.Load() == 0 {
-				return n, ver, 0, nil, true
-			}
-			r := n.leaves[i].Load()
-			if r == nil || !n.lock.ReadValidate(ver) {
-				return nil, 0, 0, nil, false
-			}
-			return n, ver, i, r, true
-		}
-		child := n.kids[i].Load()
-		if child == nil || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		cver := child.lock.ReadBegin()
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		n, ver = child, cver
-	}
-}
-
-func (t *CVarTree) abort() {
-	t.pool.PanicIfCrashed()
-	t.Stats.Aborts.Add(1)
-	t.Stats.Restarts.Add(1)
-}
-
-// Find returns a copy of the value stored under key.
-func (t *CVarTree) Find(key []byte) ([]byte, bool) {
-	sk := string(key)
-	for {
-		n, ver, _, ref, ok := t.descend(sk)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return nil, false
-		}
-		if !ref.lk.TryRLock() {
-			t.abort()
-			continue
-		}
-		if !n.lock.ReadValidate(ver) {
-			ref.lk.RUnlock()
-			t.abort()
-			continue
-		}
-		s, found := t.findInLeaf(ref.off, key)
-		var v []byte
-		if found {
-			v = t.pool.ReadBytes(t.lay.valOff(ref.off, s), uint64(t.cfg.ValueSize))
-		}
-		ref.lk.RUnlock()
-		return v, found
-	}
-}
-
-// Insert adds a key-value pair (Algorithm 14 with Selective Concurrency).
-func (t *CVarTree) Insert(key, value []byte) error {
-	if len(key) == 0 {
-		return fmt.Errorf("fptree: empty key")
-	}
-	sk := string(key)
-	for {
-		n, ver, _, ref, ok := t.descend(sk)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			if err := t.firstLeaf(n); err != nil {
-				return err
-			}
-			continue
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		bm := t.leafBitmap(ref.off)
-		if bm != t.fullBitmap() {
-			err := t.insertIntoLeaf(ref.off, bm, key, value)
-			ref.lk.Unlock()
-			if err == nil {
-				t.size.Add(1)
-			}
-			return err
-		}
-		splitKey, newRef, err := t.splitLeaf(ref)
-		if err != nil {
-			ref.lk.Unlock()
-			return err
-		}
-		t.insertSMO(splitKey, ref, newRef)
-		target := ref
-		if sk > splitKey {
-			target = newRef
-		}
-		err = t.insertIntoLeaf(target.off, t.leafBitmap(target.off), key, value)
-		ref.lk.Unlock()
-		newRef.lk.Unlock()
-		if err == nil {
-			t.size.Add(1)
-		}
-		return err
-	}
-}
-
-func (t *CVarTree) firstLeaf(root *cInner[string]) error {
-	t.anchor.Lock()
-	r := t.root.Load()
-	r.lock.Lock()
-	if r != root || r.cnt.Load() != 0 {
-		r.lock.UnlockNoBump()
-		t.anchor.UnlockNoBump()
-		return nil
-	}
-	ptr, err := t.pool.Alloc(t.m.base+mOffHeadLeaf, t.lay.size)
-	if err != nil {
-		r.lock.UnlockNoBump()
-		t.anchor.UnlockNoBump()
-		return err
-	}
-	r.leaves[0].Store(&leafRef{off: ptr.Offset})
-	r.cnt.Store(1)
-	r.lock.Unlock()
-	t.anchor.UnlockNoBump()
-	return nil
-}
-
-func (t *CVarTree) splitLeaf(ref *leafRef) (string, *leafRef, error) {
-	li := <-t.splitQ
-	log := t.m.splitLog(li)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: ref.off})
-	if _, err := t.pool.Alloc(log.bOff(), t.lay.size); err != nil {
-		log.reset()
-		t.splitQ <- li
-		return "", nil, err
-	}
-	newOff := log.b().Offset
-	splitKey := t.completeSplit(ref.off, newOff)
-	log.reset()
-	t.splitQ <- li
-	t.Ops.LeafSplits.Add(1)
-	newRef := &leafRef{off: newOff}
-	newRef.lk.Lock()
-	return string(splitKey), newRef, nil
-}
-
-func (t *CVarTree) insertSMO(splitKey string, oldRef, newRef *leafRef) {
-	t.anchor.Lock()
-	cur := t.root.Load()
-	cur.lock.Lock()
-	if cur.full() {
-		up, right := cur.splitNode()
-		nr := newCInner[string](t.maxKids(), false)
-		nr.kids[0].Store(cur)
-		nr.kids[1].Store(right)
-		nr.keys[0].Store(&up)
-		nr.cnt.Store(2)
-		t.root.Store(nr)
-		t.anchor.Unlock()
-		if splitKey > up {
-			cur.lock.Unlock()
-			cur = right
-			cur.lock.Lock()
-		}
-	} else {
-		t.anchor.UnlockNoBump()
-	}
-	for !cur.leafParent {
-		i, _ := cur.search(splitKey, lessStr)
-		child := cur.kids[i].Load()
-		child.lock.Lock()
-		if child.full() {
-			up, right := child.splitNode()
-			cur.insertAt(i, up, right, nil)
-			if splitKey > up {
-				child.lock.Unlock()
-				child = right
-				child.lock.Lock()
-			}
-		}
-		cur.lock.Unlock()
-		cur = child
-	}
-	i, _ := cur.search(splitKey, lessStr)
-	if got := cur.leaves[i].Load(); got != oldRef {
-		panic("fptree: SMO descent lost the split leaf")
-	}
-	cur.insertAt(i, splitKey, nil, newRef)
-	cur.lock.Unlock()
-}
-
-// Update is Algorithm 16: the key block is reused (pointer copy), one
-// p-atomic bitmap write commits, and the old reference is reset.
-func (t *CVarTree) Update(key, value []byte) (bool, error) {
-	sk := string(key)
-	for {
-		n, ver, _, ref, ok := t.descend(sk)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return false, nil
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		prev, found := t.findInLeaf(ref.off, key)
-		if !found {
-			ref.lk.Unlock()
-			return false, nil
-		}
-		bm := t.leafBitmap(ref.off)
-		target := ref
-		var newRef *leafRef
-		if bm == t.fullBitmap() {
-			splitKey, nr, err := t.splitLeaf(ref)
-			if err != nil {
-				ref.lk.Unlock()
-				return false, err
-			}
-			newRef = nr
-			t.insertSMO(splitKey, ref, newRef)
-			if sk > splitKey {
-				target = newRef
-			}
-			bm = t.leafBitmap(target.off)
-			prev, _ = t.findInLeaf(target.off, key)
-		}
-		slot := bits.TrailingZeros64(^bm)
-		t.pool.WritePPtr(t.lay.pkeyOff(target.off, slot), t.pool.ReadPPtr(t.lay.pkeyOff(target.off, prev)))
-		t.pool.WriteU64(t.lay.klenOff(target.off, slot), t.pool.ReadU64(t.lay.klenOff(target.off, prev)))
-		t.pool.Persist(t.lay.pkeyOff(target.off, slot), scm.PPtrSize+8)
-		t.writeValue(target.off, slot, value)
-		t.pool.WriteU8(target.off+uint64(slot), hash1Bytes(key))
-		t.pool.Persist(target.off+uint64(slot), 1)
-		t.setLeafBitmap(target.off, bm&^(1<<prev)|(1<<slot))
-		t.pool.WritePPtr(t.lay.pkeyOff(target.off, prev), scm.PPtr{})
-		t.pool.Persist(t.lay.pkeyOff(target.off, prev), scm.PPtrSize)
-		ref.lk.Unlock()
-		if newRef != nil {
-			newRef.lk.Unlock()
-		}
-		return true, nil
-	}
-}
-
-// Upsert inserts the pair or updates it in place when the key exists.
-func (t *CVarTree) Upsert(key, value []byte) error {
-	ok, err := t.Update(key, value)
-	if err != nil || ok {
-		return err
-	}
-	return t.Insert(key, value)
-}
-
-// Delete removes key (Algorithm 15 with Selective Concurrency). As in CTree,
-// a leaf whose left neighbor is in another subtree is left empty rather than
-// unlinked; recovery reclaims it.
-func (t *CVarTree) Delete(key []byte) (bool, error) {
-	sk := string(key)
-	for {
-		n, ver, _, ref, ok := t.descend(sk)
-		if !ok {
-			t.abort()
-			continue
-		}
-		if ref == nil {
-			return false, nil
-		}
-		if !ref.lk.TryLock() {
-			t.abort()
-			continue
-		}
-		if ref.dead.Load() || !n.lock.ReadValidate(ver) {
-			ref.lk.Unlock()
-			t.abort()
-			continue
-		}
-		slot, found := t.findInLeaf(ref.off, key)
-		if !found {
-			ref.lk.Unlock()
-			return false, nil
-		}
-		bm := t.leafBitmap(ref.off)
-		klen := t.pool.ReadU64(t.lay.klenOff(ref.off, slot))
-		t.setLeafBitmap(ref.off, bm&^(1<<slot))
-		t.pool.Free(t.lay.pkeyOff(ref.off, slot), klen)
-		if bm&^(1<<slot) != 0 {
-			ref.lk.Unlock()
-			t.size.Add(-1)
-			return true, nil
-		}
-		if !t.deleteSMO(sk, ref) {
-			ref.lk.Unlock()
-		}
-		t.size.Add(-1)
-		return true, nil
-	}
-}
-
-func (t *CVarTree) deleteSMO(key string, ref *leafRef) bool {
-	t.anchor.Lock()
-	anchorHeld := true
-	root := t.root.Load()
-	root.lock.Lock()
-	stack := []*cInner[string]{root}
-	cur := root
-	if cur.leafParent || cur.cnt.Load() > 2 {
-		t.anchor.UnlockNoBump()
-		anchorHeld = false
-	}
-	for !cur.leafParent {
-		i, _ := cur.search(key, lessStr)
-		child := cur.kids[i].Load()
-		child.lock.Lock()
-		stack = append(stack, child)
-		if child.cnt.Load() >= 2 {
-			for _, nd := range stack[:len(stack)-1] {
-				nd.lock.UnlockNoBump()
-			}
-			if anchorHeld {
-				t.anchor.UnlockNoBump()
-				anchorHeld = false
-			}
-			stack = stack[len(stack)-1:]
-		}
-		cur = child
-	}
-	i, _ := cur.search(key, lessStr)
-	if got := cur.leaves[i].Load(); got != ref {
-		panic("fptree: delete SMO descent lost the leaf")
-	}
-	isHead := t.m.headLeaf().Offset == ref.off
-	var prevRef *leafRef
-	if !isHead {
-		if i == 0 {
-			for _, nd := range stack {
-				nd.lock.UnlockNoBump()
-			}
-			if anchorHeld {
-				t.anchor.UnlockNoBump()
-			}
-			return false
-		}
-		prevRef = cur.leaves[i-1].Load()
-		if !prevRef.lk.TryLock() {
-			for _, nd := range stack {
-				nd.lock.UnlockNoBump()
-			}
-			if anchorHeld {
-				t.anchor.UnlockNoBump()
-			}
-			return false
-		}
-	}
-	cur.removeAt(i)
-	modified := len(stack) - 1
-	for level := len(stack) - 1; level > 0 && stack[level].cnt.Load() == 0; level-- {
-		parent := stack[level-1]
-		j, _ := parent.search(key, lessStr)
-		parent.removeAt(j)
-		modified = level - 1
-	}
-	rootSwapped := false
-	if anchorHeld {
-		r := stack[0]
-		for !r.leafParent && r.cnt.Load() == 1 {
-			r = r.kids[0].Load()
-			t.root.Store(r)
-			rootSwapped = true
-		}
-	}
-	for i, nd := range stack {
-		if i >= modified {
-			nd.lock.Unlock()
-		} else {
-			nd.lock.UnlockNoBump()
-		}
-	}
-	if anchorHeld {
-		if rootSwapped {
-			t.anchor.Unlock()
-		} else {
-			t.anchor.UnlockNoBump()
-		}
-	}
-
-	li := <-t.deleteQ
-	log := t.m.deleteLog(li)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: ref.off})
-	if isHead {
-		t.m.setHeadLeaf(t.leafNext(ref.off))
-	} else {
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: prevRef.off})
-		t.setLeafNext(prevRef.off, t.leafNext(ref.off))
-	}
-	ref.dead.Store(true)
-	t.pool.Free(log.aOff(), t.lay.size)
-	log.reset()
-	t.deleteQ <- li
-	if prevRef != nil {
-		prevRef.lk.Unlock()
-	}
-	return true
+	return &CVarTree{e}, nil
 }
 
 // Scan visits live pairs with key >= from in ascending order until fn
 // returns false, seeking leaf by leaf through the inner nodes.
 func (t *CVarTree) Scan(from []byte, fn func(VarKV) bool) {
-	cur := string(from)
-	var batch []VarKV
-	for {
-		batch = batch[:0]
-		ub := ""
-		haveUB := false
-		ok := func() bool {
-			n, ver, _, ref, dok := t.descendUB(cur, &ub, &haveUB)
-			if !dok {
-				return false
-			}
-			if ref == nil {
-				return true
-			}
-			if !ref.lk.TryRLock() {
-				return false
-			}
-			if !n.lock.ReadValidate(ver) {
-				ref.lk.RUnlock()
-				return false
-			}
-			bm := t.leafBitmap(ref.off)
-			for s := 0; s < t.cfg.LeafCap; s++ {
-				if bm&(1<<s) == 0 {
-					continue
-				}
-				k := t.slotKey(ref.off, s)
-				if string(k) >= cur {
-					batch = append(batch, VarKV{k, t.pool.ReadBytes(t.lay.valOff(ref.off, s), uint64(t.cfg.ValueSize))})
-				}
-			}
-			ref.lk.RUnlock()
-			return true
-		}()
-		if !ok {
-			t.abort()
-			continue
-		}
-		sort.Slice(batch, func(i, j int) bool { return bytes.Compare(batch[i].Key, batch[j].Key) < 0 })
-		for _, kv := range batch {
-			if !fn(kv) {
-				return
-			}
-		}
-		if !haveUB {
-			return
-		}
-		cur = ub + "\x00" // smallest key strictly greater than ub
-	}
-}
-
-func (t *CVarTree) descendUB(key string, ub *string, haveUB *bool) (n *cInner[string], ver uint64, idx int, ref *leafRef, ok bool) {
-	av := t.anchor.ReadBegin()
-	n = t.root.Load()
-	ver = n.lock.ReadBegin()
-	if !t.anchor.ReadValidate(av) {
-		return nil, 0, 0, nil, false
-	}
-	*haveUB = false
-	*ub = ""
-	for {
-		i, sok := n.search(key, lessStr)
-		if !sok {
-			return nil, 0, 0, nil, false
-		}
-		if i < int(n.cnt.Load())-1 {
-			kp := n.keys[i].Load()
-			if kp == nil {
-				return nil, 0, 0, nil, false
-			}
-			if !*haveUB || *kp < *ub {
-				*ub = *kp
-				*haveUB = true
-			}
-		}
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		if n.leafParent {
-			if n.cnt.Load() == 0 {
-				return n, ver, 0, nil, true
-			}
-			r := n.leaves[i].Load()
-			if r == nil || !n.lock.ReadValidate(ver) {
-				return nil, 0, 0, nil, false
-			}
-			return n, ver, i, r, true
-		}
-		child := n.kids[i].Load()
-		if child == nil || !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		cver := child.lock.ReadBegin()
-		if !n.lock.ReadValidate(ver) {
-			return nil, 0, 0, nil, false
-		}
-		n, ver = child, cver
-	}
+	t.engine.scan(from, func(k, v []byte) bool { return fn(VarKV{k, v}) })
 }
 
 // ScanN returns up to n pairs with key >= from.
@@ -841,54 +45,4 @@ func (t *CVarTree) ScanN(from []byte, n int) []VarKV {
 		return len(out) < n
 	})
 	return out
-}
-
-// CheckInvariants validates the tree while quiescent.
-func (t *CVarTree) CheckInvariants() error {
-	var prevMax []byte
-	n := 0
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		var lo, hi []byte
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.slotKey(leaf, s)
-			if fp := t.pool.ReadU8(leaf + uint64(s)); fp != hash1Bytes(k) {
-				return fmt.Errorf("leaf %#x slot %d: fingerprint mismatch", leaf, s)
-			}
-			if lo == nil || bytes.Compare(k, lo) < 0 {
-				lo = k
-			}
-			if hi == nil || bytes.Compare(k, hi) > 0 {
-				hi = k
-			}
-			n++
-		}
-		if lo != nil && prevMax != nil && bytes.Compare(lo, prevMax) <= 0 {
-			return fmt.Errorf("leaf %#x: min %q <= prev max %q", leaf, lo, prevMax)
-		}
-		if hi != nil {
-			prevMax = hi
-		}
-	}
-	if n != t.Len() {
-		return fmt.Errorf("leaf list holds %d keys, tree reports %d", n, t.Len())
-	}
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.slotKey(leaf, s)
-			if _, found := t.Find(k); !found {
-				return fmt.Errorf("key %q in leaf %#x unreachable via descent", k, leaf)
-			}
-		}
-	}
-	return nil
 }

@@ -1,0 +1,1351 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+
+	"fptree/internal/htm"
+	"fptree/internal/obs"
+	"fptree/internal/scm"
+)
+
+// engine is the one FPTree implementation. Everything the paper describes —
+// fingerprint-filtered leaf search, unsorted leaves committed by a p-atomic
+// bitmap, micro-logged splits and deletes, recovery, inner-node rebuild,
+// scans — lives here exactly once, parameterized by a codec (fixed u64 keys
+// vs. variable []byte keys, see codec.go) and a concurrency controller
+// (single-threaded no-ops vs. speculative validated descent, see
+// concurrency.go). Tree, VarTree, CTree and CVarTree are thin facades that
+// pick a (codec, controller) pair.
+//
+// The DRAM inner structure is always the concurrent cInner node: with the
+// no-op controller every validation succeeds on the first try, so the
+// single-threaded trees pay only an atomic load per hop, and the four former
+// forks cannot drift again.
+type engine[K, V any] struct {
+	pool *scm.Pool
+	cfg  Config
+	m    meta
+	cdc  codec[K, V]
+	cc   concurrency
+	st   bool // single-threaded (cc is the no-op controller)
+	sh   leafShape
+
+	anchor htm.VersionLock
+	root   atomic.Pointer[cInner[K]]
+
+	splitQ  chan int // free split micro-log indices
+	deleteQ chan int // free delete micro-log indices
+
+	groups     groupAlloc // leaf-group management (single-threaded only)
+	recovering bool       // true while micro-logs are being replayed
+
+	// Probes tracks in-leaf search work for the Figure 4 experiment. The
+	// fields are plain integers and only maintained by the single-threaded
+	// controller (tests reset them between runs).
+	Probes ProbeStats
+	// Ops counts in-leaf search and structure-modification events (atomic, so
+	// shared across goroutines and metric scrapes).
+	Ops OpStats
+	// Stats counts optimistic aborts and restarts, mirroring TSX event
+	// counters. Only the concurrent controller produces them.
+	Stats htm.Stats
+
+	size atomic.Int64
+}
+
+func newEngine[K, V any](pool *scm.Pool, cfg Config, m meta, cdc codec[K, V], cc concurrency) *engine[K, V] {
+	e := &engine[K, V]{pool: pool, cfg: cfg, m: m, cdc: cdc, cc: cc, st: !cc.concurrent(), sh: cdc.shape()}
+	e.groups.init(pool, m, e.sh.size, cfg.GroupSize)
+	e.splitQ = make(chan int, cfg.NumLogs)
+	e.deleteQ = make(chan int, cfg.NumLogs)
+	for i := 0; i < cfg.NumLogs; i++ {
+		e.splitQ <- i
+		e.deleteQ <- i
+	}
+	e.root.Store(newCInner[K](e.maxKids(), true))
+	return e
+}
+
+// checkConcurrentCfg rejects configurations the concurrent controller cannot
+// run: the PTree variant has no concurrent implementation, and leaf groups
+// are a central synchronization point that hinders scalability (§4.3), so
+// they are forced off.
+func checkConcurrentCfg(cc concurrency, cfg *Config) error {
+	if !cc.concurrent() {
+		return nil
+	}
+	if cfg.Variant != VariantFPTree {
+		return fmt.Errorf("fptree: only the FPTree variant has a concurrent implementation")
+	}
+	cfg.GroupSize = 0
+	return nil
+}
+
+func createEngine[K, V any](pool *scm.Pool, cfg Config, kind uint64, mk func(*scm.Pool, Config) codec[K, V], cc concurrency) (*engine[K, V], error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := checkConcurrentCfg(cc, &cfg); err != nil {
+		return nil, err
+	}
+	if !pool.Root().IsNull() {
+		return nil, fmt.Errorf("fptree: pool already contains a tree")
+	}
+	m, err := createMeta(pool, kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(pool, cfg, m, mk(pool, cfg), cc), nil
+}
+
+// openEngine recovers a tree from a pool that survived a crash or restart:
+// it replays the allocator intent and every micro-log, runs the codec's leak
+// scan, then rebuilds the DRAM-resident inner nodes and the volatile
+// free-leaf vector (Algorithm 9). Leaf locks are "reset" by building fresh
+// handles.
+func openEngine[K, V any](pool *scm.Pool, kind uint64, mk func(*scm.Pool, Config) codec[K, V], cc concurrency) (*engine[K, V], error) {
+	pool.Recover()
+	m, cfg, err := openMeta(pool, kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := checkConcurrentCfg(cc, &cfg); err != nil {
+		return nil, err
+	}
+	e := newEngine(pool, cfg, m, mk(pool, cfg), cc)
+	e.recovering = true
+	for i := 0; i < cfg.NumLogs; i++ {
+		e.recoverSplit(m.splitLog(i))
+		e.recoverDelete(m.deleteLog(i))
+	}
+	e.groups.recover()
+	e.rebuild()
+	e.recovering = false
+	return e, nil
+}
+
+func fixedCodecOf(pool *scm.Pool, cfg Config) codec[uint64, uint64] { return newFixedCodec(pool, cfg) }
+func varCodecOf(pool *scm.Pool, cfg Config) codec[[]byte, []byte]   { return newVarCodec(pool, cfg) }
+
+// Pool returns the SCM pool backing the tree.
+func (e *engine[K, V]) Pool() *scm.Pool { return e.pool }
+
+// Len returns the number of live keys.
+func (e *engine[K, V]) Len() int { return int(e.size.Load()) }
+
+// Height returns the number of inner-node levels above the leaves (0 for an
+// empty tree).
+func (e *engine[K, V]) Height() int {
+	n := e.root.Load()
+	if n.cnt.Load() == 0 {
+		return 0
+	}
+	h := 0
+	for {
+		h++
+		if n.leafParent {
+			return h
+		}
+		n = n.kids[0].Load()
+	}
+}
+
+func (e *engine[K, V]) maxKids() int { return e.cfg.InnerFanout + 1 }
+
+func (e *engine[K, V]) fullBitmap() uint64 {
+	if e.sh.cap == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << e.sh.cap) - 1
+}
+
+// RegisterMetrics exposes the tree's operation counters on reg under the
+// "fptree" prefix, plus the emulated-HTM concurrency counters under "htm"
+// for the concurrent variants.
+func (e *engine[K, V]) RegisterMetrics(reg *obs.Registry) {
+	e.Ops.RegisterMetrics(reg, "fptree")
+	if !e.st {
+		e.Stats.RegisterMetrics(reg, "htm")
+	}
+}
+
+// --- leaf persistence helpers -----------------------------------------------
+
+func (e *engine[K, V]) leafBitmap(leaf uint64) uint64 { return e.pool.ReadU64(leaf + e.sh.offBitmap) }
+func (e *engine[K, V]) leafNext(leaf uint64) scm.PPtr { return e.pool.ReadPPtr(leaf + e.sh.offNext) }
+
+// persistLeafHeader commits a new validity bitmap with one p-atomic 8-byte
+// store + flush. Every bitmap write in the engine goes through here, so all
+// variants get identical (and countable) flush behavior.
+func (e *engine[K, V]) persistLeafHeader(leaf, bm uint64) {
+	e.pool.WriteU64(leaf+e.sh.offBitmap, bm)
+	e.pool.Persist(leaf+e.sh.offBitmap, 8)
+}
+
+func (e *engine[K, V]) setLeafNext(leaf uint64, p scm.PPtr) {
+	e.pool.WritePPtr(leaf+e.sh.offNext, p)
+	e.pool.Persist(leaf+e.sh.offNext, scm.PPtrSize)
+}
+
+// commitSlot makes slot valid: it writes the fingerprint and commits the new
+// bitmap. When the fingerprint array and the bitmap share the leaf's first
+// cache line (leafCap <= 56, the paper's default geometry), one flush + fence
+// covers both: a torn crash commits 8-byte word prefixes of the line, and the
+// bitmap is the line's last word, so a committed bitmap implies a committed
+// fingerprint. When they do not share a line (leafCap 57..64), the
+// fingerprint must be durable before the bitmap byte is even written —
+// a torn crash commits prefixes of all dirty lines independently, so having
+// both lines dirty at once could expose a valid bit with a stale fingerprint.
+func (e *engine[K, V]) commitSlot(leaf uint64, slot int, key K, bm uint64) {
+	if !e.sh.hasFP {
+		e.persistLeafHeader(leaf, bm)
+		return
+	}
+	e.pool.WriteU8(leaf+uint64(slot), e.cdc.fingerprint(key))
+	if e.sh.offBitmap+8 <= scm.LineSize {
+		e.pool.WriteU64(leaf+e.sh.offBitmap, bm)
+		e.pool.Persist(leaf+uint64(slot), e.sh.offBitmap+8-uint64(slot))
+		return
+	}
+	e.pool.Persist(leaf+uint64(slot), 1)
+	e.persistLeafHeader(leaf, bm)
+}
+
+// findInLeaf is the fingerprint-filtered leaf search of Section 4.2. The
+// fingerprint array and the validity bitmap are read in ONE batched header
+// load (the forks used to re-read the bitmap word separately on every
+// probe); only keys whose fingerprint matches are dereferenced. It returns
+// the slot, the bitmap it observed (so callers do not re-read it), and
+// whether the key was found.
+func (e *engine[K, V]) findInLeaf(leaf uint64, key K) (int, uint64, bool) {
+	if e.st {
+		e.Probes.Searches++
+	}
+	if !e.sh.hasFP {
+		// PTree variant: plain linear scan over the valid keys.
+		bm := e.leafBitmap(leaf)
+		slot, probes := -1, uint64(0)
+		for s := 0; s < e.sh.cap; s++ {
+			if bm&(1<<s) == 0 {
+				continue
+			}
+			probes++
+			if e.cdc.slotKeyEquals(leaf, s, key) {
+				slot = s
+				break
+			}
+		}
+		if e.st {
+			e.Probes.KeyProbes += probes
+		}
+		e.Ops.noteSearch(0, 0, 0, probes)
+		return slot, bm, slot >= 0
+	}
+	var hdr [MaxLeafCap + 16]byte
+	h := hdr[:e.sh.offBitmap+8]
+	e.pool.ReadInto(leaf, h)
+	bm := binary.LittleEndian.Uint64(h[e.sh.offBitmap:])
+	fp := e.cdc.fingerprint(key)
+	if e.st {
+		e.Probes.FPScans += uint64(e.sh.cap)
+	}
+	slot := -1
+	var compares, hits, falsePos uint64
+	for s := 0; s < e.sh.cap; s++ {
+		if bm&(1<<s) == 0 {
+			continue
+		}
+		compares++
+		if h[s] != fp {
+			continue
+		}
+		hits++
+		if e.cdc.slotKeyEquals(leaf, s, key) {
+			slot = s
+			break
+		}
+		falsePos++
+	}
+	if e.st {
+		e.Probes.KeyProbes += hits
+	}
+	e.Ops.noteSearch(compares, hits, falsePos, hits)
+	return slot, bm, slot >= 0
+}
+
+// insertIntoLeaf writes (key, value) into the first free slot and commits
+// with the p-atomic bitmap store (Algorithm 2 lines 12-15 / Algorithm 14
+// lines 12-18). A crash before the bitmap flush leaves the insert invisible;
+// after it, complete.
+func (e *engine[K, V]) insertIntoLeaf(leaf, bm uint64, key K, value V) error {
+	slot := bits.TrailingZeros64(^bm)
+	if err := e.cdc.writeSlot(leaf, slot, key, value); err != nil {
+		return err
+	}
+	e.commitSlot(leaf, slot, key, bm|(1<<slot))
+	return nil
+}
+
+// --- optimistic descent -------------------------------------------------------
+
+// descend walks to the leaf covering key (Figure 6: the traversal is the
+// HTM-transaction part; with the no-op controller it degenerates to a plain
+// B-tree descent). On success it returns the version snapshot of the leaf
+// parent, the child index and the leaf handle; ok=false means a conflict was
+// observed and the caller must restart. ref==nil means the tree is empty.
+func (e *engine[K, V]) descend(key K) (n *cInner[K], ver uint64, idx int, ref *leafRef, ok bool) {
+	av := e.cc.readBegin(&e.anchor)
+	n = e.root.Load()
+	ver = e.cc.readBegin(&n.lock)
+	if !e.cc.validate(&e.anchor, av) {
+		return nil, 0, 0, nil, false
+	}
+	for {
+		i, sok := n.search(key, e.cdc.less)
+		if !sok || !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		if n.leafParent {
+			if n.cnt.Load() == 0 {
+				return n, ver, 0, nil, true // empty tree
+			}
+			r := n.leaves[i].Load()
+			if r == nil || !e.cc.validate(&n.lock, ver) {
+				return nil, 0, 0, nil, false
+			}
+			return n, ver, i, r, true
+		}
+		child := n.kids[i].Load()
+		if child == nil || !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		cver := e.cc.readBegin(&child.lock)
+		if !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		n, ver = child, cver
+	}
+}
+
+func (e *engine[K, V]) abort() {
+	e.pool.PanicIfCrashed()
+	e.Stats.Aborts.Add(1)
+	e.Stats.Restarts.Add(1)
+}
+
+// findLeafRef retries descend until it succeeds and returns the leaf handle
+// (nil for an empty tree). Used by invariant checks and the single-threaded
+// scan, where the no-op controller guarantees the first try succeeds.
+func (e *engine[K, V]) findLeafRef(key K) *leafRef {
+	for {
+		_, _, _, ref, ok := e.descend(key)
+		if ok {
+			return ref
+		}
+		e.abort()
+	}
+}
+
+// --- base operations ----------------------------------------------------------
+
+// Find returns the value stored under key (Algorithm 1). The leaf is read
+// under its shared lock; a locked or concurrently modified path aborts and
+// retries, as a TSX conflict would.
+func (e *engine[K, V]) Find(key K) (V, bool) {
+	var zero V
+	for {
+		n, ver, _, ref, ok := e.descend(key)
+		if !ok {
+			e.abort()
+			continue
+		}
+		if ref == nil {
+			return zero, false // empty tree
+		}
+		if !e.cc.tryRLockLeaf(ref) {
+			e.abort()
+			continue
+		}
+		if !e.cc.validate(&n.lock, ver) {
+			e.cc.rUnlockLeaf(ref)
+			e.abort()
+			continue
+		}
+		s, _, found := e.findInLeaf(ref.off, key)
+		var v V
+		if found {
+			v = e.cdc.slotValue(ref.off, s)
+		}
+		e.cc.rUnlockLeaf(ref)
+		return v, found
+	}
+}
+
+// Insert adds a key-value pair (Algorithm 2 / 14). Keys are assumed unique,
+// as in the paper; inserting an existing key creates a duplicate entry (use
+// Upsert for update-or-insert semantics). The fast path locks only the leaf;
+// a split performs the persistent work outside any inner-node lock and then
+// re-descends pessimistically to update the parents.
+func (e *engine[K, V]) Insert(key K, value V) error {
+	if err := e.cdc.validateKey(key); err != nil {
+		return err
+	}
+	for {
+		n, ver, _, ref, ok := e.descend(key)
+		if !ok {
+			e.abort()
+			continue
+		}
+		if ref == nil {
+			if err := e.firstLeaf(n); err != nil {
+				return err
+			}
+			continue
+		}
+		if !e.cc.tryLockLeaf(ref) {
+			e.abort()
+			continue
+		}
+		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
+			e.cc.unlockLeaf(ref)
+			e.abort()
+			continue
+		}
+		bm := e.leafBitmap(ref.off)
+		if bm != e.fullBitmap() {
+			err := e.insertIntoLeaf(ref.off, bm, key, value)
+			e.cc.unlockLeaf(ref)
+			if err != nil {
+				return err
+			}
+			e.size.Add(1)
+			return nil
+		}
+		// Split: persistent part first (outside any inner lock), then the
+		// parent update in a pessimistic SMO descent.
+		splitKey, newRef, err := e.splitLeaf(ref)
+		if err != nil {
+			e.cc.unlockLeaf(ref)
+			return err
+		}
+		e.insertSMO(splitKey, ref, newRef)
+		target := ref
+		if e.cdc.less(splitKey, key) {
+			target = newRef
+		}
+		err = e.insertIntoLeaf(target.off, e.leafBitmap(target.off), key, value)
+		e.cc.unlockLeaf(ref)
+		e.cc.unlockLeaf(newRef)
+		if err != nil {
+			return err
+		}
+		e.size.Add(1)
+		return nil
+	}
+}
+
+// firstLeaf materializes the head leaf of an empty tree under the root lock.
+func (e *engine[K, V]) firstLeaf(root *cInner[K]) error {
+	e.cc.lockNode(&e.anchor)
+	r := e.root.Load()
+	e.cc.lockNode(&r.lock)
+	if r != root || r.cnt.Load() != 0 {
+		e.cc.unlockNodeNoBump(&r.lock)
+		e.cc.unlockNodeNoBump(&e.anchor)
+		return nil // someone else created it; retry the insert
+	}
+	var off uint64
+	if e.groups.enabled() {
+		o, err := e.groups.getLeaf()
+		if err != nil {
+			e.cc.unlockNodeNoBump(&r.lock)
+			e.cc.unlockNodeNoBump(&e.anchor)
+			return err
+		}
+		e.m.setHeadLeaf(scm.PPtr{ArenaID: e.pool.ID(), Offset: o})
+		off = o
+	} else {
+		ptr, err := e.pool.Alloc(e.m.base+mOffHeadLeaf, e.sh.size)
+		if err != nil {
+			e.cc.unlockNodeNoBump(&r.lock)
+			e.cc.unlockNodeNoBump(&e.anchor)
+			return err
+		}
+		off = ptr.Offset
+	}
+	r.leaves[0].Store(&leafRef{off: off})
+	r.cnt.Store(1)
+	e.cc.unlockNode(&r.lock)
+	e.cc.unlockNodeNoBump(&e.anchor)
+	return nil
+}
+
+// splitLeaf is Algorithm 3 under a split micro-log drawn from the free
+// queue, so RecoverSplit can finish or discard the operation from any crash
+// point. The new leaf comes from the leaf groups when enabled (§4.3,
+// single-threaded only) or straight from the persistent allocator. The new
+// leaf's handle is born write-locked; the caller publishes it to the parents
+// and unlocks both halves.
+func (e *engine[K, V]) splitLeaf(ref *leafRef) (K, *leafRef, error) {
+	var zero K
+	li := <-e.splitQ
+	log := e.m.splitLog(li)
+	log.setA(scm.PPtr{ArenaID: e.pool.ID(), Offset: ref.off})
+	if e.groups.enabled() {
+		off, gerr := e.groups.getLeaf()
+		if gerr != nil {
+			log.reset()
+			e.splitQ <- li
+			return zero, nil, gerr
+		}
+		log.setB(scm.PPtr{ArenaID: e.pool.ID(), Offset: off})
+	} else {
+		if _, aerr := e.pool.Alloc(log.bOff(), e.sh.size); aerr != nil {
+			log.reset()
+			e.splitQ <- li
+			return zero, nil, aerr
+		}
+	}
+	newOff := log.b().Offset
+	splitKey := e.completeSplit(ref.off, newOff)
+	log.reset()
+	e.splitQ <- li
+	e.Ops.LeafSplits.Add(1)
+	newRef := &leafRef{off: newOff}
+	e.cc.lockLeaf(newRef)
+	return splitKey, newRef, nil
+}
+
+// completeSplit performs lines 6-14 of Algorithm 3; recovery re-enters it.
+func (e *engine[K, V]) completeSplit(leaf, newLeaf uint64) K {
+	// Copy the full leaf content (including the next pointer: the new leaf
+	// becomes the right neighbor).
+	buf := e.pool.ReadBytes(leaf, e.sh.size)
+	e.pool.WriteBytes(newLeaf, buf)
+	e.pool.Persist(newLeaf, e.sh.size)
+
+	splitKey, newBm := e.findSplitKey(leaf)
+	e.persistLeafHeader(newLeaf, newBm)
+	e.persistLeafHeader(leaf, e.fullBitmap()&^newBm)
+	e.cdc.afterSplitBitmaps(leaf, newLeaf)
+	e.setLeafNext(leaf, scm.PPtr{ArenaID: e.pool.ID(), Offset: newLeaf})
+	return splitKey
+}
+
+// findSplitKey picks the median key of a full leaf: the returned splitKey is
+// the greatest key that stays in the left (original) leaf, and the returned
+// bitmap marks the slots that move to the new right leaf. Scratch is
+// function-local so concurrent splits do not share state (the old
+// single-threaded forks reused per-tree buffers; not worth a type split).
+func (e *engine[K, V]) findSplitKey(leaf uint64) (K, uint64) {
+	m := e.sh.cap
+	keys := make([]K, m)
+	idxs := make([]int, m)
+	for s := 0; s < m; s++ {
+		keys[s] = e.cdc.slotKey(leaf, s)
+		idxs[s] = s
+	}
+	sort.Slice(idxs, func(i, j int) bool { return e.cdc.less(keys[idxs[i]], keys[idxs[j]]) })
+	keep := (m + 1) / 2
+	splitKey := keys[idxs[keep-1]]
+	var newBm uint64
+	for _, s := range idxs[keep:] {
+		newBm |= 1 << s
+	}
+	return splitKey, newBm
+}
+
+// insertSMO inserts (splitKey, newRef) into the leaf parent covering the
+// locked leaf oldRef, splitting full nodes preemptively on the way down with
+// lock crabbing. Because oldRef stays locked for the whole operation, the
+// leaf's key range cannot change and the descent deterministically lands on
+// its parent.
+func (e *engine[K, V]) insertSMO(splitKey K, oldRef, newRef *leafRef) {
+	e.cc.lockNode(&e.anchor)
+	cur := e.root.Load()
+	e.cc.lockNode(&cur.lock)
+	if cur.full() {
+		up, right := cur.splitNode()
+		nr := newCInner[K](e.maxKids(), false)
+		nr.kids[0].Store(cur)
+		nr.kids[1].Store(right)
+		nr.keys[0].Store(&up)
+		nr.cnt.Store(2)
+		e.root.Store(nr)
+		e.cc.unlockNode(&e.anchor)
+		if e.cdc.less(up, splitKey) {
+			e.cc.unlockNode(&cur.lock)
+			cur = right
+			e.cc.lockNode(&cur.lock) // fresh node: no contention
+		}
+	} else {
+		e.cc.unlockNodeNoBump(&e.anchor)
+	}
+	for !cur.leafParent {
+		i, _ := cur.search(splitKey, e.cdc.less)
+		child := cur.kids[i].Load()
+		e.cc.lockNode(&child.lock)
+		if child.full() {
+			up, right := child.splitNode()
+			cur.insertAt(i, up, right, nil, e.st)
+			if e.cdc.less(up, splitKey) {
+				e.cc.unlockNode(&child.lock)
+				child = right
+				e.cc.lockNode(&child.lock)
+			}
+		}
+		e.cc.unlockNode(&cur.lock)
+		cur = child
+	}
+	i, _ := cur.search(splitKey, e.cdc.less)
+	if got := cur.leaves[i].Load(); got != oldRef {
+		panic("fptree: SMO descent lost the split leaf")
+	}
+	cur.insertAt(i, splitKey, nil, newRef, e.st)
+	e.cc.unlockNode(&cur.lock)
+}
+
+// Update is Algorithm 8 / 16: the new pair is written to a free slot and both
+// the removal of the old slot and the insertion of the new one commit with
+// one p-atomic bitmap write. Returns false if the key is absent.
+func (e *engine[K, V]) Update(key K, value V) (bool, error) {
+	for {
+		n, ver, _, ref, ok := e.descend(key)
+		if !ok {
+			e.abort()
+			continue
+		}
+		if ref == nil {
+			return false, nil
+		}
+		if !e.cc.tryLockLeaf(ref) {
+			e.abort()
+			continue
+		}
+		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
+			e.cc.unlockLeaf(ref)
+			e.abort()
+			continue
+		}
+		prev, bm, found := e.findInLeaf(ref.off, key)
+		if !found {
+			e.cc.unlockLeaf(ref)
+			return false, nil
+		}
+		target := ref
+		var newRef *leafRef
+		if bm == e.fullBitmap() {
+			splitKey, nr, err := e.splitLeaf(ref)
+			if err != nil {
+				e.cc.unlockLeaf(ref)
+				return false, err
+			}
+			newRef = nr
+			e.insertSMO(splitKey, ref, newRef)
+			if e.cdc.less(splitKey, key) {
+				target = newRef
+			}
+			prev, bm, _ = e.findInLeaf(target.off, key)
+		}
+		slot := bits.TrailingZeros64(^bm)
+		e.cdc.moveSlot(target.off, slot, prev, key, value)
+		e.commitSlot(target.off, slot, key, bm&^(1<<prev)|(1<<slot))
+		e.cdc.afterUpdate(target.off, prev)
+		e.cc.unlockLeaf(ref)
+		if newRef != nil {
+			e.cc.unlockLeaf(newRef)
+		}
+		return true, nil
+	}
+}
+
+// Upsert inserts the pair or updates it in place when the key exists.
+func (e *engine[K, V]) Upsert(key K, value V) error {
+	ok, err := e.Update(key, value)
+	if err != nil || ok {
+		return err
+	}
+	return e.Insert(key, value)
+}
+
+// Delete removes key (Algorithm 5 / 15): the bitmap flip hides the slot,
+// then per-slot key storage is released. Removing a leaf's last key unlinks
+// and deallocates the leaf under a delete micro-log. (The old fixed-key fork
+// skipped the bitmap flip on the last-key path; flipping first costs one
+// flush but keeps one code path, and recovery prunes empty leaves either
+// way.) The single-threaded controller always finds the left neighbor; the
+// concurrent one only takes it when it is adjacent in the same parent (or
+// the leaf is the list head) — the cross-subtree neighbor hunt is not worth
+// its locks, so the empty leaf stays linked and recovery reclaims it.
+func (e *engine[K, V]) Delete(key K) (bool, error) {
+	for {
+		n, ver, _, ref, ok := e.descend(key)
+		if !ok {
+			e.abort()
+			continue
+		}
+		if ref == nil {
+			return false, nil
+		}
+		if !e.cc.tryLockLeaf(ref) {
+			e.abort()
+			continue
+		}
+		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
+			e.cc.unlockLeaf(ref)
+			e.abort()
+			continue
+		}
+		slot, bm, found := e.findInLeaf(ref.off, key)
+		if !found {
+			e.cc.unlockLeaf(ref)
+			return false, nil
+		}
+		rest := bm &^ (1 << slot)
+		e.persistLeafHeader(ref.off, rest)
+		e.cdc.releaseSlotKey(ref.off, slot)
+		if rest == 0 {
+			// Last key: try to remove the whole leaf.
+			if !e.deleteSMO(key, ref) {
+				e.cc.unlockLeaf(ref) // leaf stays empty but linked
+			}
+		} else {
+			e.cc.unlockLeaf(ref)
+		}
+		e.size.Add(-1)
+		return true, nil
+	}
+}
+
+// deleteSMO removes the locked, empty leaf from the tree: pessimistic
+// crabbing descent, removal from the leaf parent (pruning emptied ancestors
+// and collapsing the root), then the persistent unlink and deallocation
+// under a delete micro-log (Algorithm 6). Returns false when the leaf must
+// stay (left neighbor unavailable — concurrent controller only).
+func (e *engine[K, V]) deleteSMO(key K, ref *leafRef) bool {
+	e.cc.lockNode(&e.anchor)
+	anchorHeld := true
+	root := e.root.Load()
+	e.cc.lockNode(&root.lock)
+	stack := []*cInner[K]{root}
+	bail := func() {
+		for _, nd := range stack {
+			e.cc.unlockNodeNoBump(&nd.lock)
+		}
+		if anchorHeld {
+			e.cc.unlockNodeNoBump(&e.anchor)
+		}
+	}
+	cur := root
+	if cur.leafParent || cur.cnt.Load() > 2 {
+		e.cc.unlockNodeNoBump(&e.anchor)
+		anchorHeld = false
+	}
+	for !cur.leafParent {
+		i, _ := cur.search(key, e.cdc.less)
+		child := cur.kids[i].Load()
+		e.cc.lockNode(&child.lock)
+		stack = append(stack, child)
+		if child.cnt.Load() >= 2 {
+			// Safe: removal below cannot empty this child; release ancestors.
+			for _, nd := range stack[:len(stack)-1] {
+				e.cc.unlockNodeNoBump(&nd.lock)
+			}
+			if anchorHeld {
+				e.cc.unlockNodeNoBump(&e.anchor)
+				anchorHeld = false
+			}
+			stack = stack[len(stack)-1:]
+		}
+		cur = child
+	}
+	i, _ := cur.search(key, e.cdc.less)
+	if got := cur.leaves[i].Load(); got != ref {
+		panic("fptree: delete SMO descent lost the leaf")
+	}
+	isHead := e.m.headLeaf().Offset == ref.off
+	var prevRef *leafRef
+	if !isHead {
+		switch {
+		case i > 0:
+			prevRef = cur.leaves[i-1].Load()
+			if !e.cc.tryLockLeaf(prevRef) {
+				bail()
+				return false
+			}
+		case e.st:
+			// Single-threaded: the left neighbor lives in another subtree.
+			// Hunt it down the rightmost spine of the nearest left sibling
+			// (free of locks here) so empty leaves never linger.
+			prevRef = e.prevLeafRef(key)
+		}
+		if prevRef == nil {
+			bail() // leftmost in parent and not list head: leave it linked
+			return false
+		}
+	}
+	// DRAM removal: prune emptied nodes bottom-up along the locked chain.
+	cur.removeAt(i, e.st)
+	modified := len(stack) - 1
+	for level := len(stack) - 1; level > 0 && stack[level].cnt.Load() == 0; level-- {
+		parent := stack[level-1]
+		j, _ := parent.search(key, e.cdc.less)
+		parent.removeAt(j, e.st)
+		modified = level - 1
+	}
+	// Root collapse: keep the height minimal.
+	rootSwapped := false
+	if anchorHeld {
+		r := stack[0]
+		for !r.leafParent && r.cnt.Load() == 1 {
+			r = r.kids[0].Load()
+			e.root.Store(r)
+			rootSwapped = true
+		}
+	}
+	for i, nd := range stack {
+		if i >= modified {
+			e.cc.unlockNode(&nd.lock)
+		} else {
+			e.cc.unlockNodeNoBump(&nd.lock)
+		}
+	}
+	if anchorHeld {
+		if rootSwapped {
+			e.cc.unlockNode(&e.anchor)
+		} else {
+			e.cc.unlockNodeNoBump(&e.anchor)
+		}
+	}
+
+	// Persistent unlink + deallocation (Algorithm 6).
+	var prevOff uint64
+	if prevRef != nil {
+		prevOff = prevRef.off
+	}
+	e.unlinkLeaf(ref.off, prevOff, ref)
+	if prevRef != nil {
+		e.cc.unlockLeaf(prevRef)
+	}
+	return true
+}
+
+// prevLeafRef finds the left neighbor of the leaf covering key by descending
+// the rightmost spine of the nearest left sibling subtree. Single-threaded
+// only (no locks are taken); returns nil when the leaf is the list head.
+func (e *engine[K, V]) prevLeafRef(key K) *leafRef {
+	var cand *cInner[K]
+	candIdx := 0
+	n := e.root.Load()
+	for {
+		i, _ := n.search(key, e.cdc.less)
+		if i > 0 {
+			cand, candIdx = n, i
+		}
+		if n.leafParent {
+			break
+		}
+		n = n.kids[i].Load()
+	}
+	if cand == nil {
+		return nil
+	}
+	if cand.leafParent {
+		return cand.leaves[candIdx-1].Load()
+	}
+	n = cand.kids[candIdx-1].Load()
+	for !n.leafParent {
+		n = n.kids[int(n.cnt.Load())-1].Load()
+	}
+	return n.leaves[int(n.cnt.Load())-1].Load()
+}
+
+// unlinkLeaf removes leaf from the persistent list under a delete micro-log
+// and releases its storage (Algorithm 6). prev is ignored when leaf is the
+// list head. ref may be nil during recovery (no live handle exists yet).
+func (e *engine[K, V]) unlinkLeaf(leaf, prev uint64, ref *leafRef) {
+	li := <-e.deleteQ
+	log := e.m.deleteLog(li)
+	log.setA(scm.PPtr{ArenaID: e.pool.ID(), Offset: leaf})
+	if e.m.headLeaf().Offset == leaf {
+		e.m.setHeadLeaf(e.leafNext(leaf))
+	} else {
+		log.setB(scm.PPtr{ArenaID: e.pool.ID(), Offset: prev})
+		e.setLeafNext(prev, e.leafNext(leaf))
+	}
+	if ref != nil {
+		ref.dead.Store(true) // handle stays locked forever; stale readers bounce
+	}
+	e.releaseLeaf(log)
+	log.reset()
+	e.deleteQ <- li
+}
+
+// releaseLeaf hands the unlinked leaf in log.a back to its owner: the leaf
+// groups, or the persistent allocator via the micro-log cell (which nulls
+// it). During micro-log replay the group bookkeeping is still volatile-empty,
+// so a grouped leaf is simply left for rebuildFreeVector to reclassify as
+// free (it is no longer reachable from the leaf list).
+func (e *engine[K, V]) releaseLeaf(log mlog) {
+	if e.groups.enabled() {
+		if !e.recovering {
+			e.groups.freeLeaf(log.a().Offset)
+		}
+		return
+	}
+	e.pool.Free(log.aOff(), e.sh.size)
+}
+
+// --- scans --------------------------------------------------------------------
+
+// scan visits live pairs with key >= from in ascending key order until fn
+// returns false. Leaves are unsorted, so each visited leaf is sorted in DRAM
+// before emission. The single-threaded engine chases the persistent next
+// pointers (Figure 2); the concurrent one must not (a concurrently
+// deallocated leaf could be reused under the reader), so it seeks leaf by
+// leaf through the inner nodes, using the separators as upper bounds.
+func (e *engine[K, V]) scan(from K, fn func(K, V) bool) {
+	if e.st {
+		e.scanChase(from, fn)
+	} else {
+		e.scanSeek(from, fn)
+	}
+}
+
+type kvPair[K, V any] struct {
+	k K
+	v V
+}
+
+func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
+	ref := e.findLeafRef(from)
+	if ref == nil {
+		return
+	}
+	leaf := ref.off
+	var batch []kvPair[K, V]
+	for {
+		bm := e.leafBitmap(leaf)
+		batch = batch[:0]
+		for s := 0; s < e.sh.cap; s++ {
+			if bm&(1<<s) == 0 {
+				continue
+			}
+			k := e.cdc.slotKey(leaf, s)
+			if !e.cdc.less(k, from) {
+				batch = append(batch, kvPair[K, V]{k, e.cdc.slotValue(leaf, s)})
+			}
+		}
+		sort.Slice(batch, func(i, j int) bool { return e.cdc.less(batch[i].k, batch[j].k) })
+		for _, kv := range batch {
+			if !fn(kv.k, kv.v) {
+				return
+			}
+		}
+		next := e.leafNext(leaf)
+		if next.IsNull() {
+			return
+		}
+		leaf = next.Offset
+	}
+}
+
+func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
+	cur := from
+	var batch []kvPair[K, V]
+	for {
+		batch = batch[:0]
+		var ub K
+		haveUB := false
+		ok := func() bool {
+			n, ver, _, ref, dok := e.descendUB(cur, &ub, &haveUB)
+			if !dok {
+				return false
+			}
+			if ref == nil {
+				return true // empty tree
+			}
+			if !e.cc.tryRLockLeaf(ref) {
+				return false
+			}
+			if !e.cc.validate(&n.lock, ver) {
+				e.cc.rUnlockLeaf(ref)
+				return false
+			}
+			bm := e.leafBitmap(ref.off)
+			for s := 0; s < e.sh.cap; s++ {
+				if bm&(1<<s) == 0 {
+					continue
+				}
+				k := e.cdc.slotKey(ref.off, s)
+				if !e.cdc.less(k, cur) {
+					batch = append(batch, kvPair[K, V]{k, e.cdc.slotValue(ref.off, s)})
+				}
+			}
+			e.cc.rUnlockLeaf(ref)
+			return true
+		}()
+		if !ok {
+			e.abort()
+			continue
+		}
+		sort.Slice(batch, func(i, j int) bool { return e.cdc.less(batch[i].k, batch[j].k) })
+		for _, kv := range batch {
+			if !fn(kv.k, kv.v) {
+				return
+			}
+		}
+		if !haveUB {
+			return // rightmost leaf done
+		}
+		// Seek to the smallest key strictly greater than the separator. (The
+		// old fixed fork used MaxUint64 as an in-band "no bound" sentinel and
+		// ub+1, which wrapped for keys at the top of the range; haveUB +
+		// nextAfter handles both codecs without a sentinel.)
+		next, nok := e.cdc.nextAfter(ub)
+		if !nok {
+			return
+		}
+		cur = next
+	}
+}
+
+// descendUB is descend plus tracking of the tightest right-hand separator on
+// the path: the reached leaf covers no key greater than *ub (when *haveUB).
+func (e *engine[K, V]) descendUB(key K, ub *K, haveUB *bool) (n *cInner[K], ver uint64, idx int, ref *leafRef, ok bool) {
+	av := e.cc.readBegin(&e.anchor)
+	n = e.root.Load()
+	ver = e.cc.readBegin(&n.lock)
+	if !e.cc.validate(&e.anchor, av) {
+		return nil, 0, 0, nil, false
+	}
+	*haveUB = false
+	for {
+		i, sok := n.search(key, e.cdc.less)
+		if !sok {
+			return nil, 0, 0, nil, false
+		}
+		if i < int(n.cnt.Load())-1 {
+			kp := n.keys[i].Load()
+			if kp == nil {
+				return nil, 0, 0, nil, false
+			}
+			if !*haveUB || e.cdc.less(*kp, *ub) {
+				*ub = *kp
+				*haveUB = true
+			}
+		}
+		if !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		if n.leafParent {
+			if n.cnt.Load() == 0 {
+				return n, ver, 0, nil, true
+			}
+			r := n.leaves[i].Load()
+			if r == nil || !e.cc.validate(&n.lock, ver) {
+				return nil, 0, 0, nil, false
+			}
+			return n, ver, i, r, true
+		}
+		child := n.kids[i].Load()
+		if child == nil || !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		cver := e.cc.readBegin(&child.lock)
+		if !e.cc.validate(&n.lock, ver) {
+			return nil, 0, 0, nil, false
+		}
+		n, ver = child, cver
+	}
+}
+
+// --- recovery -----------------------------------------------------------------
+
+// recoverSplit is Algorithm 4.
+func (e *engine[K, V]) recoverSplit(log mlog) {
+	a, b := log.a(), log.b()
+	if a.IsNull() || b.IsNull() {
+		// Crashed before the new leaf was durably obtained: the allocator
+		// intent has already been rolled back (or the group leaf stays in the
+		// free vector); discard.
+		if !a.IsNull() || !b.IsNull() {
+			log.reset()
+		}
+		return
+	}
+	if e.leafBitmap(a.Offset) == e.fullBitmap() {
+		// Crashed before line 11 (the split leaf's bitmap update): redo the
+		// whole copy phase.
+		e.completeSplit(a.Offset, b.Offset)
+	} else {
+		// Crashed at or after line 11: recompute the idempotent tail.
+		e.persistLeafHeader(a.Offset, e.fullBitmap()&^e.leafBitmap(b.Offset))
+		e.cdc.afterSplitBitmaps(a.Offset, b.Offset)
+		e.setLeafNext(a.Offset, b)
+	}
+	log.reset()
+}
+
+// recoverDelete is Algorithm 7.
+func (e *engine[K, V]) recoverDelete(log mlog) {
+	a, b := log.a(), log.b()
+	if a.IsNull() {
+		if !b.IsNull() {
+			log.reset()
+		}
+		return
+	}
+	head := e.m.headLeaf()
+	switch {
+	case !b.IsNull():
+		// Crashed between the prev-link update and deallocation: redo both.
+		e.setLeafNext(b.Offset, e.leafNext(a.Offset))
+		e.releaseLeaf(log)
+	case a == head:
+		// Crashed before the head pointer moved.
+		e.m.setHeadLeaf(e.leafNext(a.Offset))
+		e.releaseLeaf(log)
+	case e.leafNext(a.Offset) == head:
+		// Head already moved; only the deallocation is missing.
+		e.releaseLeaf(log)
+	default:
+		// Only the micro-log itself was written: nothing durable changed.
+	}
+	log.reset()
+}
+
+// rebuild reconstructs the DRAM inner nodes by walking the persistent leaf
+// list (Algorithm 9, RebuildInnerNodes). Leaves emptied by an interrupted
+// delete are unlinked on the way — a crash can leave an empty leaf in the
+// list, and separators for empty leaves would be meaningless.
+func (e *engine[K, V]) rebuild() {
+	leaves, maxKeys, size := e.collectLeaves()
+	e.size.Store(int64(size))
+	e.root.Store(buildInner(leaves, maxKeys, e.maxKids()))
+	e.groups.rebuildFreeVector(leaves)
+	e.Ops.InnerRebuilds.Add(1)
+}
+
+// collectLeaves walks the persistent leaf list, running the codec's leak
+// scan (Algorithm 17; a no-op for fixed keys) on every leaf, pruning leaves
+// emptied by an interrupted delete, and returning the live leaves with their
+// max keys.
+func (e *engine[K, V]) collectLeaves() (leaves []uint64, maxKeys []K, size int) {
+	prev := uint64(0)
+	for p := e.m.headLeaf(); !p.IsNull(); {
+		leaf := p.Offset
+		next := e.leafNext(leaf)
+		e.cdc.reclaimLeaks(leaf)
+		mk, n := e.leafMaxKey(leaf)
+		if n == 0 {
+			e.unlinkLeaf(leaf, prev, nil)
+			p = next
+			continue
+		}
+		leaves = append(leaves, leaf)
+		maxKeys = append(maxKeys, mk)
+		size += n
+		prev = leaf
+		p = next
+	}
+	return leaves, maxKeys, size
+}
+
+// leafMaxKey returns the greatest valid key in the leaf and the number of
+// valid slots, used when rebuilding inner nodes. (The fixed fork compared
+// against a zero max and the var fork against nil; "first valid slot wins"
+// covers both without a sentinel.)
+func (e *engine[K, V]) leafMaxKey(leaf uint64) (K, int) {
+	bm := e.leafBitmap(leaf)
+	var maxK K
+	n := 0
+	for s := 0; s < e.sh.cap; s++ {
+		if bm&(1<<s) == 0 {
+			continue
+		}
+		n++
+		if k := e.cdc.slotKey(leaf, s); n == 1 || e.cdc.less(maxK, k) {
+			maxK = k
+		}
+	}
+	return maxK, n
+}
+
+// buildInner bulk-builds the DRAM part from the recovered leaf list, packing
+// nodes to at most ~90% so the first inserts do not immediately split every
+// node. (The forks disagreed: the single-threaded builder packed nodes full.
+// 90% wins — full nodes made every post-recovery insert path split first.)
+func buildInner[K any](leaves []uint64, maxKeys []K, maxKids int) *cInner[K] {
+	width := maxKids * 9 / 10
+	if width < 2 {
+		width = 2
+	}
+	if len(leaves) == 0 {
+		return newCInner[K](maxKids, true)
+	}
+	var level []*cInner[K]
+	var seps []K
+	for at := 0; at < len(leaves); at += width {
+		end := at + width
+		if end > len(leaves) {
+			end = len(leaves)
+		}
+		n := newCInner[K](maxKids, true)
+		for i := at; i < end; i++ {
+			n.leaves[i-at].Store(&leafRef{off: leaves[i]})
+			if i < end-1 {
+				k := maxKeys[i]
+				n.keys[i-at].Store(&k)
+			}
+		}
+		n.cnt.Store(int32(end - at))
+		level = append(level, n)
+		if end < len(leaves) {
+			seps = append(seps, maxKeys[end-1])
+		}
+	}
+	for len(level) > 1 {
+		var next []*cInner[K]
+		var nextSeps []K
+		for at := 0; at < len(level); at += width {
+			end := at + width
+			if end > len(level) {
+				end = len(level)
+			}
+			n := newCInner[K](maxKids, false)
+			for i := at; i < end; i++ {
+				n.kids[i-at].Store(level[i])
+				if i < end-1 {
+					k := seps[i]
+					n.keys[i-at].Store(&k)
+				}
+			}
+			n.cnt.Store(int32(end - at))
+			next = append(next, n)
+			if end < len(level) {
+				nextSeps = append(nextSeps, seps[end-1])
+			}
+		}
+		level, seps = next, nextSeps
+	}
+	return level[0]
+}
+
+// --- introspection ------------------------------------------------------------
+
+// CheckInvariants validates the structural invariants the design relies on;
+// tests call it after crash-recovery cycles (and, for the concurrent
+// variants, only while no operations are in flight). It returns the first
+// violation found.
+func (e *engine[K, V]) CheckInvariants() error {
+	var prevMax K
+	havePrev := false
+	n := 0
+	owners := map[scm.PPtr]int{}
+	var hdr [MaxLeafCap + 16]byte
+	for p := e.m.headLeaf(); !p.IsNull(); p = e.leafNext(p.Offset) {
+		leaf := p.Offset
+		bm := e.leafBitmap(leaf)
+		if e.sh.hasFP {
+			e.pool.ReadInto(leaf, hdr[:e.sh.cap])
+		}
+		var lo, hi K
+		cnt := 0
+		for s := 0; s < e.sh.cap; s++ {
+			if bm&(1<<s) == 0 {
+				if err := e.cdc.checkInvalidSlot(leaf, s); err != nil {
+					return err
+				}
+				continue
+			}
+			k := e.cdc.slotKey(leaf, s)
+			if tok, okTok := e.cdc.ownerToken(leaf, s); okTok {
+				owners[tok]++
+			}
+			if e.sh.hasFP && hdr[s] != e.cdc.fingerprint(k) {
+				return fmt.Errorf("leaf %#x slot %d: fingerprint mismatch for key %v", leaf, s, k)
+			}
+			if cnt == 0 || e.cdc.less(k, lo) {
+				lo = k
+			}
+			if cnt == 0 || e.cdc.less(hi, k) {
+				hi = k
+			}
+			cnt++
+			n++
+		}
+		// Empty leaves only ever linger in the concurrent trees (deferred
+		// deletions); the single-threaded delete always unlinks eagerly.
+		if cnt == 0 && e.st && e.Len() > 0 {
+			return fmt.Errorf("leaf %#x: empty leaf in non-empty tree", leaf)
+		}
+		if cnt > 0 {
+			if havePrev && !e.cdc.less(prevMax, lo) {
+				return fmt.Errorf("leaf %#x: min key %v <= previous leaf max %v", leaf, lo, prevMax)
+			}
+			prevMax, havePrev = hi, true
+		}
+	}
+	for pk, c := range owners {
+		if c != 1 {
+			return fmt.Errorf("key block %v has %d owners", pk, c)
+		}
+	}
+	if n != e.Len() {
+		return fmt.Errorf("size mismatch: list has %d keys, tree reports %d", n, e.Len())
+	}
+	// Every key reachable through the inner nodes.
+	for p := e.m.headLeaf(); !p.IsNull(); p = e.leafNext(p.Offset) {
+		leaf := p.Offset
+		bm := e.leafBitmap(leaf)
+		for s := 0; s < e.sh.cap; s++ {
+			if bm&(1<<s) == 0 {
+				continue
+			}
+			k := e.cdc.slotKey(leaf, s)
+			if ref := e.findLeafRef(k); ref == nil || ref.off != leaf {
+				return fmt.Errorf("key %v lives in leaf %#x but descent misses it", k, leaf)
+			}
+		}
+	}
+	return e.groups.checkInvariants()
+}
+
+// Memory walks the DRAM part and combines it with the pool's SCM accounting
+// (the Figure 8 experiment). DRAM cost counts live content per node — the
+// fixed-capacity arrays overallocate, but the estimate tracks what a
+// dynamically sized node would hold, matching the paper's model.
+func (e *engine[K, V]) Memory() MemoryStats {
+	var st MemoryStats
+	st.SCMBytes = e.pool.AllocatedBytes()
+	var walk func(n *cInner[K])
+	walk = func(n *cInner[K]) {
+		st.Inners++
+		c := int(n.cnt.Load())
+		st.DRAMBytes += 48 + uint64(c)*8
+		for i := 0; i < c-1; i++ {
+			if kp := n.keys[i].Load(); kp != nil {
+				st.DRAMBytes += e.cdc.keyDRAMBytes(*kp)
+			}
+		}
+		if n.leafParent {
+			st.Leaves += c
+			return
+		}
+		for i := 0; i < c; i++ {
+			walk(n.kids[i].Load())
+		}
+	}
+	if r := e.root.Load(); r.cnt.Load() > 0 {
+		walk(r)
+	}
+	return st
+}

@@ -120,10 +120,6 @@ type fixedLayout struct {
 	size      uint64
 }
 
-func newFixedLayout(leafCap int) fixedLayout {
-	return newFixedLayoutV(leafCap, VariantFPTree)
-}
-
 func newFixedLayoutV(leafCap int, v Variant) fixedLayout {
 	l := fixedLayout{cap: leafCap, hasFP: v == VariantFPTree}
 	if l.hasFP {
@@ -172,10 +168,6 @@ type varLayout struct {
 	offNext   uint64
 	offKV     uint64
 	size      uint64
-}
-
-func newVarLayout(leafCap, valueSize int) varLayout {
-	return newVarLayoutV(leafCap, valueSize, VariantFPTree)
 }
 
 func newVarLayoutV(leafCap, valueSize int, v Variant) varLayout {

@@ -68,28 +68,6 @@ func (o *OpStats) AvgKeyProbes() float64 {
 	return float64(o.KeyProbes.Load()) / float64(s)
 }
 
-// RegisterMetrics exposes the tree's operation counters on reg under the
-// "fptree" prefix.
-func (t *Tree) RegisterMetrics(reg *obs.Registry) { t.Ops.RegisterMetrics(reg, "fptree") }
-
-// RegisterMetrics exposes the tree's operation counters on reg under the
-// "fptree" prefix.
-func (t *VarTree) RegisterMetrics(reg *obs.Registry) { t.Ops.RegisterMetrics(reg, "fptree") }
-
-// RegisterMetrics exposes the tree's operation counters and its emulated-HTM
-// concurrency counters on reg (prefixes "fptree" and "htm").
-func (t *CTree) RegisterMetrics(reg *obs.Registry) {
-	t.Ops.RegisterMetrics(reg, "fptree")
-	t.Stats.RegisterMetrics(reg, "htm")
-}
-
-// RegisterMetrics exposes the tree's operation counters and its emulated-HTM
-// concurrency counters on reg (prefixes "fptree" and "htm").
-func (t *CVarTree) RegisterMetrics(reg *obs.Registry) {
-	t.Ops.RegisterMetrics(reg, "fptree")
-	t.Stats.RegisterMetrics(reg, "htm")
-}
-
 // RegisterMetrics exposes the counters on reg under the given prefix
 // (conventionally "fptree").
 func (o *OpStats) RegisterMetrics(reg *obs.Registry, prefix string) {

@@ -1,10 +1,6 @@
 package core
 
 import (
-	"fmt"
-	"math/bits"
-	"sort"
-
 	"fptree/internal/scm"
 )
 
@@ -14,26 +10,10 @@ import (
 // leaf groups (Section 5, variant 1). Keys and values are 8-byte integers.
 //
 // The tree is not safe for concurrent use; CTree is the Selective
-// Concurrency variant.
+// Concurrency variant. Both are facades over the same generic engine — Tree
+// pairs the fixed-key codec with the no-op concurrency controller.
 type Tree struct {
-	pool *scm.Pool
-	cfg  Config
-	lay  fixedLayout
-	m    meta
-
-	root *stInner[uint64] // nil while the tree holds no leaves
-	size int              // number of live keys (volatile, rebuilt on recovery)
-
-	groups     groupAlloc // leaf-group management (volatile part)
-	recovering bool       // true while micro-logs are being replayed
-
-	Probes ProbeStats // in-leaf search work, for the Figure 4 experiment
-	Ops    OpStats    // atomic event counters for the metrics registry
-
-	path  []pathEntry[uint64] // reusable descent stack
-	fpBuf []byte              // reusable fingerprint read buffer
-	kbuf  []uint64            // reusable split scratch
-	sbuf  []int               // reusable split scratch
+	*engine[uint64, uint64]
 }
 
 // KV is one fixed-size key-value pair.
@@ -42,23 +22,23 @@ type KV struct {
 	Value uint64
 }
 
+// MemoryStats reports a tree's memory footprint split by medium, for the
+// Figure 8 experiment.
+type MemoryStats struct {
+	SCMBytes  uint64 // SCM consumed by the whole arena's live allocations
+	DRAMBytes uint64 // estimated DRAM held by inner nodes and volatile state
+	Leaves    int
+	Inners    int
+}
+
 // Create formats a new single-threaded FPTree in the pool. The pool must be
 // empty (null root).
 func Create(pool *scm.Pool, cfg Config) (*Tree, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	if !pool.Root().IsNull() {
-		return nil, fmt.Errorf("fptree: pool already contains a tree")
-	}
-	m, err := createMeta(pool, keyKindFixed, cfg)
+	e, err := createEngine(pool, cfg, keyKindFixed, fixedCodecOf, nopCC{})
 	if err != nil {
 		return nil, err
 	}
-	t := &Tree{pool: pool, cfg: cfg, lay: newFixedLayoutV(cfg.LeafCap, cfg.Variant), m: m}
-	t.groups.init(t.pool, t.m, t.lay.size, cfg.GroupSize)
-	t.fpBuf = make([]byte, cfg.LeafCap)
-	return t, nil
+	return &Tree{e}, nil
 }
 
 // Open recovers a single-threaded FPTree from a pool that survived a crash
@@ -66,339 +46,17 @@ func Create(pool *scm.Pool, cfg Config) (*Tree, error) {
 // rebuilds the DRAM-resident inner nodes and the volatile free-leaf vector
 // (Algorithm 9).
 func Open(pool *scm.Pool) (*Tree, error) {
-	pool.Recover()
-	m, cfg, err := openMeta(pool, keyKindFixed)
+	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, nopCC{})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	t := &Tree{pool: pool, cfg: cfg, lay: newFixedLayoutV(cfg.LeafCap, cfg.Variant), m: m}
-	t.fpBuf = make([]byte, cfg.LeafCap)
-	t.groups.init(t.pool, t.m, t.lay.size, cfg.GroupSize)
-	t.recovering = true
-	t.recoverSplit(t.m.splitLog(0))
-	t.recoverDelete(t.m.deleteLog(0))
-	t.groups.recover()
-	t.rebuild()
-	t.recovering = false
-	return t, nil
-}
-
-// Pool returns the SCM pool backing the tree.
-func (t *Tree) Pool() *scm.Pool { return t.pool }
-
-// Len returns the number of live keys.
-func (t *Tree) Len() int { return t.size }
-
-// Height returns the number of inner-node levels above the leaves.
-func (t *Tree) Height() int {
-	h, n := 0, t.root
-	for n != nil {
-		h++
-		if n.isLeafParent() {
-			break
-		}
-		n = n.kids[0]
-	}
-	return h
-}
-
-func (t *Tree) fullBitmap() uint64 {
-	if t.cfg.LeafCap == 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << t.cfg.LeafCap) - 1
-}
-
-// --- leaf accessors ---------------------------------------------------------
-
-func (t *Tree) leafBitmap(leaf uint64) uint64     { return t.pool.ReadU64(leaf + t.lay.offBitmap) }
-func (t *Tree) leafNext(leaf uint64) scm.PPtr     { return t.pool.ReadPPtr(leaf + t.lay.offNext) }
-func (t *Tree) leafKey(leaf uint64, s int) uint64 { return t.pool.ReadU64(t.lay.keyOff(leaf, s)) }
-func (t *Tree) leafVal(leaf uint64, s int) uint64 { return t.pool.ReadU64(t.lay.valOff(leaf, s)) }
-
-func (t *Tree) setLeafBitmap(leaf, bm uint64) {
-	t.pool.WriteU64(leaf+t.lay.offBitmap, bm)
-	t.pool.Persist(leaf+t.lay.offBitmap, 8)
-}
-
-func (t *Tree) setLeafNext(leaf uint64, p scm.PPtr) {
-	t.pool.WritePPtr(leaf+t.lay.offNext, p)
-	t.pool.Persist(leaf+t.lay.offNext, scm.PPtrSize)
-}
-
-// leafMaxKey returns the greatest valid key in the leaf (0 for an empty
-// leaf), used when rebuilding inner nodes.
-func (t *Tree) leafMaxKey(leaf uint64) (uint64, int) {
-	bm := t.leafBitmap(leaf)
-	var maxK uint64
-	n := 0
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		n++
-		if k := t.leafKey(leaf, s); k > maxK {
-			maxK = k
-		}
-	}
-	return maxK, n
-}
-
-// findInLeaf performs the fingerprint-filtered leaf search of Section 4.2:
-// it scans the fingerprint array (one cache line), and only dereferences
-// keys whose fingerprint matches.
-func (t *Tree) findInLeaf(leaf, key uint64) (int, bool) {
-	bm := t.leafBitmap(leaf)
-	t.Probes.Searches++
-	if !t.lay.hasFP {
-		// PTree variant: plain linear scan over the valid keys.
-		slot, probes := -1, uint64(0)
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			t.Probes.KeyProbes++
-			probes++
-			if t.leafKey(leaf, s) == key {
-				slot = s
-				break
-			}
-		}
-		t.Ops.noteSearch(0, 0, 0, probes)
-		return slot, slot >= 0
-	}
-	t.pool.ReadInto(leaf, t.fpBuf)
-	fp := hash1(key)
-	t.Probes.FPScans += uint64(t.cfg.LeafCap)
-	slot := -1
-	var compares, hits, falsePos uint64
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		compares++
-		if t.fpBuf[s] != fp {
-			continue
-		}
-		hits++
-		t.Probes.KeyProbes++
-		if t.leafKey(leaf, s) == key {
-			slot = s
-			break
-		}
-		falsePos++
-	}
-	t.Ops.noteSearch(compares, hits, falsePos, hits)
-	return slot, slot >= 0
-}
-
-// --- descent ---------------------------------------------------------------
-
-// findLeaf descends to the leaf covering key, recording the path in t.path.
-func (t *Tree) findLeaf(key uint64) uint64 {
-	t.path = t.path[:0]
-	n := t.root
-	for {
-		i := n.childIdx(key, lessU64)
-		t.path = append(t.path, pathEntry[uint64]{n, i})
-		if n.isLeafParent() {
-			return n.leaves[i]
-		}
-		n = n.kids[i]
-	}
-}
-
-// prevLeafOf returns the left neighbor of the leaf reached by the current
-// t.path, or 0 when the leaf is the head of the list. It descends the
-// rightmost spine of the nearest left sibling subtree.
-func (t *Tree) prevLeafOf() uint64 {
-	for level := len(t.path) - 1; level >= 0; level-- {
-		e := t.path[level]
-		if e.idx == 0 {
-			continue
-		}
-		if e.n.isLeafParent() {
-			return e.n.leaves[e.idx-1]
-		}
-		n := e.n.kids[e.idx-1]
-		for !n.isLeafParent() {
-			n = n.kids[len(n.kids)-1]
-		}
-		return n.leaves[len(n.leaves)-1]
-	}
-	return 0
-}
-
-// --- base operations ---------------------------------------------------------
-
-// Find returns the value stored under key.
-func (t *Tree) Find(key uint64) (uint64, bool) {
-	if t.root == nil {
-		return 0, false
-	}
-	leaf := t.findLeaf(key)
-	s, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return 0, false
-	}
-	return t.leafVal(leaf, s), true
-}
-
-// Insert adds a key-value pair (Algorithm 2's single-threaded core). Keys
-// are assumed unique, as in the paper; inserting an existing key creates a
-// duplicate entry (use Upsert for update-or-insert semantics).
-func (t *Tree) Insert(key, value uint64) error {
-	if t.root == nil {
-		leaf, err := t.firstLeaf()
-		if err != nil {
-			return err
-		}
-		t.root = &stInner[uint64]{leaves: []uint64{leaf}}
-	}
-	leaf := t.findLeaf(key)
-	bm := t.leafBitmap(leaf)
-	full := t.fullBitmap()
-	if bm == full {
-		splitKey, newLeaf, err := t.splitLeaf(leaf)
-		if err != nil {
-			return err
-		}
-		t.root = insertChild(t.root, t.path, len(t.path)-1, splitKey, nil, newLeaf, t.cfg.InnerFanout)
-		if key > splitKey {
-			leaf = newLeaf
-		}
-		bm = t.leafBitmap(leaf)
-	}
-	t.insertIntoLeaf(leaf, bm, key, value)
-	t.size++
-	return nil
-}
-
-// insertIntoLeaf writes (key, value) and its fingerprint into the first free
-// slot and commits with a single p-atomic bitmap store (Algorithm 2, lines
-// 12-15). A crash before the bitmap flush leaves the insert invisible; after
-// it, complete. No recovery action is ever needed.
-func (t *Tree) insertIntoLeaf(leaf, bm, key, value uint64) {
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WriteU64(t.lay.keyOff(leaf, slot), key)
-	t.pool.WriteU64(t.lay.valOff(leaf, slot), value)
-	t.pool.Persist(t.lay.keyOff(leaf, slot), 8)
-	t.pool.Persist(t.lay.valOff(leaf, slot), 8)
-	if t.lay.hasFP {
-		t.pool.WriteU8(leaf+uint64(slot), hash1(key))
-		t.pool.Persist(leaf+uint64(slot), 1)
-	}
-	t.setLeafBitmap(leaf, bm|(1<<slot))
-}
-
-// Update replaces the value stored under key (Algorithm 8): the new pair is
-// written to a free slot and both the removal of the old slot and the
-// insertion of the new one commit with one p-atomic bitmap write. Returns
-// false if the key is absent.
-func (t *Tree) Update(key, value uint64) (bool, error) {
-	if t.root == nil {
-		return false, nil
-	}
-	leaf := t.findLeaf(key)
-	prev, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return false, nil
-	}
-	bm := t.leafBitmap(leaf)
-	if bm == t.fullBitmap() {
-		splitKey, newLeaf, err := t.splitLeaf(leaf)
-		if err != nil {
-			return false, err
-		}
-		t.root = insertChild(t.root, t.path, len(t.path)-1, splitKey, nil, newLeaf, t.cfg.InnerFanout)
-		if key > splitKey {
-			leaf = newLeaf
-		}
-		bm = t.leafBitmap(leaf)
-		prev, _ = t.findInLeaf(leaf, key)
-	}
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WriteU64(t.lay.keyOff(leaf, slot), key)
-	t.pool.WriteU64(t.lay.valOff(leaf, slot), value)
-	t.pool.Persist(t.lay.keyOff(leaf, slot), 8)
-	t.pool.Persist(t.lay.valOff(leaf, slot), 8)
-	if t.lay.hasFP {
-		t.pool.WriteU8(leaf+uint64(slot), hash1(key))
-		t.pool.Persist(leaf+uint64(slot), 1)
-	}
-	t.setLeafBitmap(leaf, bm&^(1<<prev)|(1<<slot))
-	return true, nil
-}
-
-// Upsert inserts the pair or updates it in place when the key exists.
-func (t *Tree) Upsert(key, value uint64) error {
-	ok, err := t.Update(key, value)
-	if err != nil || ok {
-		return err
-	}
-	return t.Insert(key, value)
-}
-
-// Delete removes key (Algorithm 5's single-threaded core). Deleting the last
-// key of a leaf unlinks and frees the whole leaf under a delete micro-log.
-func (t *Tree) Delete(key uint64) (bool, error) {
-	if t.root == nil {
-		return false, nil
-	}
-	leaf := t.findLeaf(key)
-	slot, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return false, nil
-	}
-	bm := t.leafBitmap(leaf)
-	if bm&^(1<<slot) == 0 {
-		prev := t.prevLeafOf()
-		if err := t.deleteLeaf(leaf, prev); err != nil {
-			return false, err
-		}
-		t.root = removeLeaf(t.root, t.path)
-	} else {
-		t.setLeafBitmap(leaf, bm&^(1<<slot))
-	}
-	t.size--
-	return true, nil
+	return &Tree{e}, nil
 }
 
 // Scan visits live pairs with key >= from in ascending key order until fn
-// returns false. Leaves are unsorted, so each visited leaf is sorted in DRAM
-// before emission; the persistent next pointers chain the leaves (Figure 2).
+// returns false.
 func (t *Tree) Scan(from uint64, fn func(KV) bool) {
-	if t.root == nil {
-		return
-	}
-	leaf := t.findLeaf(from)
-	var batch []KV
-	for {
-		bm := t.leafBitmap(leaf)
-		batch = batch[:0]
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			if k := t.leafKey(leaf, s); k >= from {
-				batch = append(batch, KV{k, t.leafVal(leaf, s)})
-			}
-		}
-		sort.Slice(batch, func(i, j int) bool { return batch[i].Key < batch[j].Key })
-		for _, kv := range batch {
-			if !fn(kv) {
-				return
-			}
-		}
-		next := t.leafNext(leaf)
-		if next.IsNull() {
-			return
-		}
-		leaf = next.Offset
-	}
+	t.engine.scan(from, func(k, v uint64) bool { return fn(KV{k, v}) })
 }
 
 // ScanN returns up to n pairs with key >= from.
@@ -409,305 +67,4 @@ func (t *Tree) ScanN(from uint64, n int) []KV {
 		return len(out) < n
 	})
 	return out
-}
-
-// --- structure modifications -------------------------------------------------
-
-// firstLeaf materializes the head leaf of an empty tree.
-func (t *Tree) firstLeaf() (uint64, error) {
-	if t.groups.enabled() {
-		off, err := t.groups.getLeaf()
-		if err != nil {
-			return 0, err
-		}
-		t.m.setHeadLeaf(scm.PPtr{ArenaID: t.pool.ID(), Offset: off})
-		return off, nil
-	}
-	ptr, err := t.pool.Alloc(t.m.base+mOffHeadLeaf, t.lay.size)
-	if err != nil {
-		return 0, err
-	}
-	return ptr.Offset, nil
-}
-
-// splitLeaf implements Algorithm 3: persistent copy of the full leaf into a
-// freshly obtained one, p-atomic bitmap updates on both halves, and linking,
-// all under a split micro-log so RecoverSplit can finish or discard the
-// operation from any crash point.
-func (t *Tree) splitLeaf(leaf uint64) (splitKey uint64, newLeaf uint64, err error) {
-	log := t.m.splitLog(0)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
-	if t.groups.enabled() {
-		off, gerr := t.groups.getLeaf()
-		if gerr != nil {
-			log.reset()
-			return 0, 0, gerr
-		}
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: off})
-	} else {
-		if _, aerr := t.pool.Alloc(log.bOff(), t.lay.size); aerr != nil {
-			log.reset()
-			return 0, 0, aerr
-		}
-	}
-	newLeaf = log.b().Offset
-	splitKey = t.completeSplit(leaf, newLeaf)
-	log.reset()
-	t.Ops.LeafSplits.Add(1)
-	return splitKey, newLeaf, nil
-}
-
-// completeSplit performs lines 6-14 of Algorithm 3; recovery re-enters it.
-func (t *Tree) completeSplit(leaf, newLeaf uint64) uint64 {
-	// Copy the full leaf content (including the next pointer: the new leaf
-	// becomes the right neighbor).
-	buf := t.pool.ReadBytes(leaf, t.lay.size)
-	t.pool.WriteBytes(newLeaf, buf)
-	t.pool.Persist(newLeaf, t.lay.size)
-
-	splitKey, newBm := t.findSplitKey(leaf)
-	t.setLeafBitmap(newLeaf, newBm)
-	t.setLeafBitmap(leaf, t.fullBitmap()&^newBm)
-	t.setLeafNext(leaf, scm.PPtr{ArenaID: t.pool.ID(), Offset: newLeaf})
-	return splitKey
-}
-
-// findSplitKey picks the median key of a full leaf: the returned splitKey is
-// the greatest key that stays in the left (original) leaf, and the returned
-// bitmap marks the slots that move to the new right leaf.
-func (t *Tree) findSplitKey(leaf uint64) (uint64, uint64) {
-	m := t.cfg.LeafCap
-	t.kbuf = t.kbuf[:0]
-	t.sbuf = t.sbuf[:0]
-	for s := 0; s < m; s++ {
-		t.kbuf = append(t.kbuf, t.leafKey(leaf, s))
-		t.sbuf = append(t.sbuf, s)
-	}
-	keys := t.kbuf
-	sort.Slice(t.sbuf, func(i, j int) bool { return keys[t.sbuf[i]] < keys[t.sbuf[j]] })
-	keep := (m + 1) / 2
-	splitKey := keys[t.sbuf[keep-1]]
-	var newBm uint64
-	for _, s := range t.sbuf[keep:] {
-		newBm |= 1 << s
-	}
-	return splitKey, newBm
-}
-
-// deleteLeaf implements Algorithm 6: unlink the leaf from the persistent
-// list under a delete micro-log, then return it to the leaf groups (or the
-// allocator when groups are disabled).
-func (t *Tree) deleteLeaf(leaf, prev uint64) error {
-	log := t.m.deleteLog(0)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
-	if t.m.headLeaf().Offset == leaf {
-		t.m.setHeadLeaf(t.leafNext(leaf))
-	} else {
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: prev})
-		t.setLeafNext(prev, t.leafNext(leaf))
-	}
-	t.releaseLeaf(log)
-	log.reset()
-	return nil
-}
-
-// releaseLeaf hands the unlinked leaf in log.a back to its owner: the leaf
-// groups, or the persistent allocator via the micro-log cell (which nulls
-// it). During micro-log replay the group bookkeeping is still volatile-empty,
-// so a grouped leaf is simply left for rebuildFreeVector to reclassify as
-// free (it is no longer reachable from the leaf list).
-func (t *Tree) releaseLeaf(log mlog) {
-	if t.groups.enabled() {
-		if !t.recovering {
-			t.groups.freeLeaf(log.a().Offset)
-		}
-		return
-	}
-	t.pool.Free(log.aOff(), t.lay.size)
-}
-
-// --- recovery ---------------------------------------------------------------
-
-// recoverSplit is Algorithm 4.
-func (t *Tree) recoverSplit(log mlog) {
-	a, b := log.a(), log.b()
-	if a.IsNull() || b.IsNull() {
-		// Crashed before the new leaf was durably obtained: the allocator
-		// intent has already been rolled back (or the group leaf stays in
-		// the free vector); discard.
-		if !a.IsNull() || !b.IsNull() {
-			log.reset()
-		}
-		return
-	}
-	if t.leafBitmap(a.Offset) == t.fullBitmap() {
-		// Crashed before line 11 (the split leaf's bitmap update): redo the
-		// whole copy phase.
-		t.completeSplit(a.Offset, b.Offset)
-	} else {
-		// Crashed at or after line 11: recompute the idempotent tail.
-		t.setLeafBitmap(a.Offset, t.fullBitmap()&^t.leafBitmap(b.Offset))
-		t.setLeafNext(a.Offset, b)
-	}
-	log.reset()
-}
-
-// recoverDelete is Algorithm 7.
-func (t *Tree) recoverDelete(log mlog) {
-	a, b := log.a(), log.b()
-	if a.IsNull() {
-		if !b.IsNull() {
-			log.reset()
-		}
-		return
-	}
-	head := t.m.headLeaf()
-	switch {
-	case !b.IsNull():
-		// Crashed between the prev-link update and deallocation: redo both.
-		t.setLeafNext(b.Offset, t.leafNext(a.Offset))
-		t.releaseLeaf(log)
-	case a == head:
-		// Crashed before the head pointer moved.
-		t.m.setHeadLeaf(t.leafNext(a.Offset))
-		t.releaseLeaf(log)
-	case t.leafNext(a.Offset) == head:
-		// Head already moved; only the deallocation is missing.
-		t.releaseLeaf(log)
-	default:
-		// Only the micro-log itself was written: nothing durable changed.
-	}
-	log.reset()
-}
-
-// rebuild reconstructs the DRAM inner nodes by walking the persistent leaf
-// list (Algorithm 9, RebuildInnerNodes). Leaves emptied by an interrupted
-// delete are unlinked on the way — a crash can leave an empty leaf in the
-// list, and separators for empty leaves would be meaningless.
-func (t *Tree) rebuild() {
-	leaves, maxKeys, size := t.collectLeaves()
-	t.size = size
-	t.root = buildInnerNodes(leaves, maxKeys, t.cfg.InnerFanout)
-	t.groups.rebuildFreeVector(leaves)
-	t.Ops.InnerRebuilds.Add(1)
-}
-
-// collectLeaves walks the persistent leaf list, pruning leaves emptied by an
-// interrupted delete, and returns the live leaves with their max keys.
-func (t *Tree) collectLeaves() (leaves, maxKeys []uint64, size int) {
-	prev := uint64(0)
-	for p := t.m.headLeaf(); !p.IsNull(); {
-		leaf := p.Offset
-		next := t.leafNext(leaf)
-		mk, n := t.leafMaxKey(leaf)
-		if n == 0 {
-			t.deleteLeaf(leaf, prev) //nolint:errcheck // release path cannot fail
-			p = next
-			continue
-		}
-		leaves = append(leaves, leaf)
-		maxKeys = append(maxKeys, mk)
-		size += n
-		prev = leaf
-		p = next
-	}
-	return leaves, maxKeys, size
-}
-
-// CheckInvariants validates the structural invariants the design relies on;
-// tests call it after crash-recovery cycles. It returns the first violation
-// found.
-func (t *Tree) CheckInvariants() error {
-	// 1. Leaf-list keys are ordered between leaves and fingerprints match.
-	var prevMax uint64
-	first := true
-	n := 0
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		t.pool.ReadInto(leaf, t.fpBuf)
-		var lo, hi uint64
-		lo = ^uint64(0)
-		cnt := 0
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.leafKey(leaf, s)
-			if t.lay.hasFP && t.fpBuf[s] != hash1(k) {
-				return fmt.Errorf("leaf %#x slot %d: fingerprint mismatch for key %d", leaf, s, k)
-			}
-			if k < lo {
-				lo = k
-			}
-			if k > hi {
-				hi = k
-			}
-			cnt++
-			n++
-		}
-		if cnt == 0 && t.size > 0 {
-			return fmt.Errorf("leaf %#x: empty leaf in non-empty tree", leaf)
-		}
-		if !first && cnt > 0 && lo <= prevMax {
-			return fmt.Errorf("leaf %#x: min key %d <= previous leaf max %d", leaf, lo, prevMax)
-		}
-		if cnt > 0 {
-			prevMax = hi
-			first = false
-		}
-	}
-	if n != t.size {
-		return fmt.Errorf("size mismatch: list has %d keys, tree reports %d", n, t.size)
-	}
-	// 2. Every key is reachable through the inner nodes.
-	if t.root != nil {
-		for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-			leaf := p.Offset
-			bm := t.leafBitmap(leaf)
-			for s := 0; s < t.cfg.LeafCap; s++ {
-				if bm&(1<<s) == 0 {
-					continue
-				}
-				k := t.leafKey(leaf, s)
-				if got := t.findLeaf(k); got != leaf {
-					return fmt.Errorf("key %d lives in leaf %#x but descent reaches %#x", k, leaf, got)
-				}
-			}
-		}
-	}
-	return t.groups.checkInvariants()
-}
-
-// MemoryStats reports the tree's memory footprint split by medium, for the
-// Figure 8 experiment.
-type MemoryStats struct {
-	SCMBytes  uint64 // SCM consumed by the whole arena's live allocations
-	DRAMBytes uint64 // estimated DRAM held by inner nodes and volatile state
-	Leaves    int
-	Inners    int
-}
-
-// Memory walks the DRAM part and combines it with the pool's SCM accounting.
-func (t *Tree) Memory() MemoryStats {
-	var st MemoryStats
-	st.SCMBytes = t.pool.AllocatedBytes()
-	var walk func(n *stInner[uint64])
-	walk = func(n *stInner[uint64]) {
-		st.Inners++
-		st.DRAMBytes += uint64(len(n.keys)*8 + 48)
-		if n.isLeafParent() {
-			st.DRAMBytes += uint64(len(n.leaves) * 8)
-			st.Leaves += len(n.leaves)
-			return
-		}
-		st.DRAMBytes += uint64(len(n.kids) * 8)
-		for _, k := range n.kids {
-			walk(k)
-		}
-	}
-	if t.root != nil {
-		walk(t.root)
-	}
-	return st
 }

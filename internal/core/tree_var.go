@@ -1,11 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"fmt"
-	"math/bits"
-	"sort"
-
 	"fptree/internal/scm"
 )
 
@@ -16,24 +11,11 @@ import (
 // the leak-prevention allocator interface (the slot's own pointer cell is
 // the owner), and recovery runs the Algorithm 17 scan that reclaims keys
 // orphaned by a crash.
+//
+// VarTree is a facade over the same generic engine as Tree — it pairs the
+// variable-key codec with the no-op concurrency controller.
 type VarTree struct {
-	pool *scm.Pool
-	cfg  Config
-	lay  varLayout
-	m    meta
-
-	root *stInner[[]byte]
-	size int
-
-	groups     groupAlloc
-	recovering bool
-
-	Probes ProbeStats
-	Ops    OpStats
-
-	path  []pathEntry[[]byte]
-	fpBuf []byte
-	sbuf  []int
+	*engine[[]byte, []byte]
 }
 
 // VarKV is one variable-size-key pair.
@@ -44,407 +26,27 @@ type VarKV struct {
 
 // CreateVar formats a new single-threaded variable-size-key FPTree.
 func CreateVar(pool *scm.Pool, cfg Config) (*VarTree, error) {
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	if !pool.Root().IsNull() {
-		return nil, fmt.Errorf("fptree: pool already contains a tree")
-	}
-	m, err := createMeta(pool, keyKindVar, cfg)
+	e, err := createEngine(pool, cfg, keyKindVar, varCodecOf, nopCC{})
 	if err != nil {
 		return nil, err
 	}
-	t := &VarTree{pool: pool, cfg: cfg, lay: newVarLayoutV(cfg.LeafCap, cfg.ValueSize, cfg.Variant), m: m}
-	t.groups.init(pool, m, t.lay.size, cfg.GroupSize)
-	t.fpBuf = make([]byte, cfg.LeafCap)
-	return t, nil
+	return &VarTree{e}, nil
 }
 
 // OpenVar recovers a variable-size-key FPTree: allocator intent, micro-logs,
 // the Algorithm 17 leak scan, then the inner-node rebuild.
 func OpenVar(pool *scm.Pool) (*VarTree, error) {
-	pool.Recover()
-	m, cfg, err := openMeta(pool, keyKindVar)
+	e, err := openEngine(pool, keyKindVar, varCodecOf, nopCC{})
 	if err != nil {
 		return nil, err
 	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	t := &VarTree{pool: pool, cfg: cfg, lay: newVarLayoutV(cfg.LeafCap, cfg.ValueSize, cfg.Variant), m: m}
-	t.groups.init(pool, m, t.lay.size, cfg.GroupSize)
-	t.fpBuf = make([]byte, cfg.LeafCap)
-	t.recovering = true
-	t.recoverSplit(t.m.splitLog(0))
-	t.recoverDelete(t.m.deleteLog(0))
-	t.groups.recover()
-	t.rebuild()
-	t.recovering = false
-	return t, nil
-}
-
-// Pool returns the SCM pool backing the tree.
-func (t *VarTree) Pool() *scm.Pool { return t.pool }
-
-// Len returns the number of live keys.
-func (t *VarTree) Len() int { return t.size }
-
-func (t *VarTree) fullBitmap() uint64 {
-	if t.cfg.LeafCap == 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << t.cfg.LeafCap) - 1
-}
-
-// --- leaf accessors ---------------------------------------------------------
-
-func (t *VarTree) leafBitmap(leaf uint64) uint64 { return t.pool.ReadU64(leaf + t.lay.offBitmap) }
-func (t *VarTree) leafNext(leaf uint64) scm.PPtr { return t.pool.ReadPPtr(leaf + t.lay.offNext) }
-
-func (t *VarTree) setLeafBitmap(leaf, bm uint64) {
-	t.pool.WriteU64(leaf+t.lay.offBitmap, bm)
-	t.pool.Persist(leaf+t.lay.offBitmap, 8)
-}
-
-func (t *VarTree) setLeafNext(leaf uint64, p scm.PPtr) {
-	t.pool.WritePPtr(leaf+t.lay.offNext, p)
-	t.pool.Persist(leaf+t.lay.offNext, scm.PPtrSize)
-}
-
-func (t *VarTree) slotPKey(leaf uint64, s int) scm.PPtr {
-	return t.pool.ReadPPtr(t.lay.pkeyOff(leaf, s))
-}
-
-func (t *VarTree) slotKLen(leaf uint64, s int) uint64 {
-	return t.pool.ReadU64(t.lay.klenOff(leaf, s))
-}
-
-// slotKey dereferences the slot's key pointer — the extra SCM cache miss
-// that makes fingerprints so valuable for string keys.
-func (t *VarTree) slotKey(leaf uint64, s int) []byte {
-	pk := t.slotPKey(leaf, s)
-	return t.pool.ReadBytes(pk.Offset, t.slotKLen(leaf, s))
-}
-
-func (t *VarTree) slotKeyEquals(leaf uint64, s int, key []byte) bool {
-	if t.slotKLen(leaf, s) != uint64(len(key)) {
-		return false
-	}
-	pk := t.slotPKey(leaf, s)
-	return t.pool.EqualBytes(pk.Offset, key)
-}
-
-func (t *VarTree) slotKeyCompare(leaf uint64, s int, key []byte) int {
-	pk := t.slotPKey(leaf, s)
-	klen := t.slotKLen(leaf, s)
-	n := klen
-	if uint64(len(key)) < n {
-		n = uint64(len(key))
-	}
-	if c := t.pool.CompareBytes(pk.Offset, n, key[:n]); c != 0 {
-		return c
-	}
-	switch {
-	case klen < uint64(len(key)):
-		return -1
-	case klen > uint64(len(key)):
-		return 1
-	}
-	return 0
-}
-
-func (t *VarTree) slotValue(leaf uint64, s int) []byte {
-	return t.pool.ReadBytes(t.lay.valOff(leaf, s), uint64(t.cfg.ValueSize))
-}
-
-func (t *VarTree) leafMaxKey(leaf uint64) ([]byte, int) {
-	bm := t.leafBitmap(leaf)
-	var maxK []byte
-	n := 0
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		n++
-		k := t.slotKey(leaf, s)
-		if maxK == nil || bytes.Compare(k, maxK) > 0 {
-			maxK = k
-		}
-	}
-	return maxK, n
-}
-
-func (t *VarTree) findInLeaf(leaf uint64, key []byte) (int, bool) {
-	bm := t.leafBitmap(leaf)
-	t.Probes.Searches++
-	if !t.lay.hasFP {
-		// PTreeVar variant: every valid slot's key must be dereferenced —
-		// an SCM cache miss per probe, which is what fingerprints avoid.
-		slot, probes := -1, uint64(0)
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			t.Probes.KeyProbes++
-			probes++
-			if t.slotKeyEquals(leaf, s, key) {
-				slot = s
-				break
-			}
-		}
-		t.Ops.noteSearch(0, 0, 0, probes)
-		return slot, slot >= 0
-	}
-	t.pool.ReadInto(leaf, t.fpBuf)
-	fp := hash1Bytes(key)
-	t.Probes.FPScans += uint64(t.cfg.LeafCap)
-	slot := -1
-	var compares, hits, falsePos uint64
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) == 0 {
-			continue
-		}
-		compares++
-		if t.fpBuf[s] != fp {
-			continue
-		}
-		hits++
-		t.Probes.KeyProbes++
-		if t.slotKeyEquals(leaf, s, key) {
-			slot = s
-			break
-		}
-		falsePos++
-	}
-	t.Ops.noteSearch(compares, hits, falsePos, hits)
-	return slot, slot >= 0
-}
-
-// --- descent ---------------------------------------------------------------
-
-func (t *VarTree) findLeaf(key []byte) uint64 {
-	t.path = t.path[:0]
-	n := t.root
-	for {
-		i := n.childIdx(key, lessBytes)
-		t.path = append(t.path, pathEntry[[]byte]{n, i})
-		if n.isLeafParent() {
-			return n.leaves[i]
-		}
-		n = n.kids[i]
-	}
-}
-
-func (t *VarTree) prevLeafOf() uint64 {
-	for level := len(t.path) - 1; level >= 0; level-- {
-		e := t.path[level]
-		if e.idx == 0 {
-			continue
-		}
-		if e.n.isLeafParent() {
-			return e.n.leaves[e.idx-1]
-		}
-		n := e.n.kids[e.idx-1]
-		for !n.isLeafParent() {
-			n = n.kids[len(n.kids)-1]
-		}
-		return n.leaves[len(n.leaves)-1]
-	}
-	return 0
-}
-
-// --- base operations ----------------------------------------------------------
-
-// Find returns a copy of the value stored under key.
-func (t *VarTree) Find(key []byte) ([]byte, bool) {
-	if t.root == nil {
-		return nil, false
-	}
-	leaf := t.findLeaf(key)
-	s, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return nil, false
-	}
-	return t.slotValue(leaf, s), true
-}
-
-// Insert adds a key-value pair (Algorithm 14's single-threaded core). The
-// key bytes are stored in a freshly allocated SCM block owned by the slot's
-// persistent pointer cell, so a crash can never leak them. value is padded
-// or truncated to the tree's configured value size.
-func (t *VarTree) Insert(key, value []byte) error {
-	if len(key) == 0 {
-		return fmt.Errorf("fptree: empty key")
-	}
-	if t.root == nil {
-		leaf, err := t.firstLeaf()
-		if err != nil {
-			return err
-		}
-		t.root = &stInner[[]byte]{leaves: []uint64{leaf}}
-	}
-	leaf := t.findLeaf(key)
-	bm := t.leafBitmap(leaf)
-	if bm == t.fullBitmap() {
-		splitKey, newLeaf, err := t.splitLeaf(leaf)
-		if err != nil {
-			return err
-		}
-		t.root = insertChild(t.root, t.path, len(t.path)-1, splitKey, nil, newLeaf, t.cfg.InnerFanout)
-		if bytes.Compare(key, splitKey) > 0 {
-			leaf = newLeaf
-		}
-		bm = t.leafBitmap(leaf)
-	}
-	if err := t.insertIntoLeaf(leaf, bm, key, value); err != nil {
-		return err
-	}
-	t.size++
-	return nil
-}
-
-// insertIntoLeaf performs lines 12-18 of Algorithm 14: persist the key
-// length, allocate and fill the key block (the allocator durably publishes
-// it in the slot's pointer cell), persist value and fingerprint, and commit
-// with the p-atomic bitmap store.
-func (t *VarTree) insertIntoLeaf(leaf, bm uint64, key, value []byte) error {
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WriteU64(t.lay.klenOff(leaf, slot), uint64(len(key)))
-	t.pool.Persist(t.lay.klenOff(leaf, slot), 8)
-	pk, err := t.pool.Alloc(t.lay.pkeyOff(leaf, slot), uint64(len(key)))
-	if err != nil {
-		return err
-	}
-	t.pool.WriteBytes(pk.Offset, key)
-	t.pool.Persist(pk.Offset, uint64(len(key)))
-	t.writeValue(leaf, slot, value)
-	if t.lay.hasFP {
-		t.pool.WriteU8(leaf+uint64(slot), hash1Bytes(key))
-		t.pool.Persist(leaf+uint64(slot), 1)
-	}
-	t.setLeafBitmap(leaf, bm|(1<<slot))
-	return nil
-}
-
-func (t *VarTree) writeValue(leaf uint64, slot int, value []byte) {
-	buf := make([]byte, t.cfg.ValueSize)
-	copy(buf, value)
-	t.pool.WriteBytes(t.lay.valOff(leaf, slot), buf)
-	t.pool.Persist(t.lay.valOff(leaf, slot), uint64(len(buf)))
-}
-
-// Update is Algorithm 16: the new slot reuses the existing key block (its
-// persistent pointer is copied, not re-allocated); the bitmap flip makes the
-// removal of the old slot and the insertion of the new one atomic; finally
-// the old slot's pointer is reset so exactly one reference to the key
-// remains.
-func (t *VarTree) Update(key, value []byte) (bool, error) {
-	if t.root == nil {
-		return false, nil
-	}
-	leaf := t.findLeaf(key)
-	prev, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return false, nil
-	}
-	bm := t.leafBitmap(leaf)
-	if bm == t.fullBitmap() {
-		splitKey, newLeaf, err := t.splitLeaf(leaf)
-		if err != nil {
-			return false, err
-		}
-		t.root = insertChild(t.root, t.path, len(t.path)-1, splitKey, nil, newLeaf, t.cfg.InnerFanout)
-		if bytes.Compare(key, splitKey) > 0 {
-			leaf = newLeaf
-		}
-		bm = t.leafBitmap(leaf)
-		prev, _ = t.findInLeaf(leaf, key)
-	}
-	slot := bits.TrailingZeros64(^bm)
-	t.pool.WritePPtr(t.lay.pkeyOff(leaf, slot), t.slotPKey(leaf, prev))
-	t.pool.WriteU64(t.lay.klenOff(leaf, slot), t.slotKLen(leaf, prev))
-	t.pool.Persist(t.lay.pkeyOff(leaf, slot), scm.PPtrSize+8)
-	t.writeValue(leaf, slot, value)
-	if t.lay.hasFP {
-		t.pool.WriteU8(leaf+uint64(slot), hash1Bytes(key))
-		t.pool.Persist(leaf+uint64(slot), 1)
-	}
-	t.setLeafBitmap(leaf, bm&^(1<<prev)|(1<<slot))
-	// Reset the old reference so the key has exactly one owner again
-	// (Algorithm 16, line 16).
-	t.pool.WritePPtr(t.lay.pkeyOff(leaf, prev), scm.PPtr{})
-	t.pool.Persist(t.lay.pkeyOff(leaf, prev), scm.PPtrSize)
-	return true, nil
-}
-
-// Upsert inserts the pair or updates it in place when the key exists.
-func (t *VarTree) Upsert(key, value []byte) error {
-	ok, err := t.Update(key, value)
-	if err != nil || ok {
-		return err
-	}
-	return t.Insert(key, value)
-}
-
-// Delete removes key (Algorithm 15's single-threaded core): the bitmap flip
-// hides the slot, then the key block is deallocated through the slot's
-// pointer cell (which nulls it). Deleting a leaf's last key unlinks the leaf.
-func (t *VarTree) Delete(key []byte) (bool, error) {
-	if t.root == nil {
-		return false, nil
-	}
-	leaf := t.findLeaf(key)
-	slot, ok := t.findInLeaf(leaf, key)
-	if !ok {
-		return false, nil
-	}
-	bm := t.leafBitmap(leaf)
-	klen := t.slotKLen(leaf, slot)
-	t.setLeafBitmap(leaf, bm&^(1<<slot))
-	t.pool.Free(t.lay.pkeyOff(leaf, slot), klen)
-	if bm&^(1<<slot) == 0 {
-		prev := t.prevLeafOf()
-		if err := t.deleteLeaf(leaf, prev); err != nil {
-			return false, err
-		}
-		t.root = removeLeaf(t.root, t.path)
-	}
-	t.size--
-	return true, nil
+	return &VarTree{e}, nil
 }
 
 // Scan visits live pairs with key >= from in ascending order until fn
 // returns false.
 func (t *VarTree) Scan(from []byte, fn func(VarKV) bool) {
-	if t.root == nil {
-		return
-	}
-	leaf := t.findLeaf(from)
-	var batch []VarKV
-	for {
-		bm := t.leafBitmap(leaf)
-		batch = batch[:0]
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				continue
-			}
-			k := t.slotKey(leaf, s)
-			if bytes.Compare(k, from) >= 0 {
-				batch = append(batch, VarKV{k, t.slotValue(leaf, s)})
-			}
-		}
-		sort.Slice(batch, func(i, j int) bool { return bytes.Compare(batch[i].Key, batch[j].Key) < 0 })
-		for _, kv := range batch {
-			if !fn(kv) {
-				return
-			}
-		}
-		next := t.leafNext(leaf)
-		if next.IsNull() {
-			return
-		}
-		leaf = next.Offset
-	}
+	t.engine.scan(from, func(k, v []byte) bool { return fn(VarKV{k, v}) })
 }
 
 // ScanN returns up to n pairs with key >= from.
@@ -455,324 +57,4 @@ func (t *VarTree) ScanN(from []byte, n int) []VarKV {
 		return len(out) < n
 	})
 	return out
-}
-
-// --- structure modifications ---------------------------------------------------
-
-func (t *VarTree) firstLeaf() (uint64, error) {
-	if t.groups.enabled() {
-		off, err := t.groups.getLeaf()
-		if err != nil {
-			return 0, err
-		}
-		t.m.setHeadLeaf(scm.PPtr{ArenaID: t.pool.ID(), Offset: off})
-		return off, nil
-	}
-	ptr, err := t.pool.Alloc(t.m.base+mOffHeadLeaf, t.lay.size)
-	if err != nil {
-		return 0, err
-	}
-	return ptr.Offset, nil
-}
-
-// splitLeaf is Algorithm 3 applied to variable-size keys. The leaf copy
-// duplicates the key pointers; after the complementary bitmaps are durable,
-// the invalid slots' pointers in both halves are persistently reset so every
-// key block has exactly one owning reference — otherwise the Algorithm 17
-// leak scan could reclaim a key still referenced by the sibling leaf.
-func (t *VarTree) splitLeaf(leaf uint64) ([]byte, uint64, error) {
-	log := t.m.splitLog(0)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
-	if t.groups.enabled() {
-		off, gerr := t.groups.getLeaf()
-		if gerr != nil {
-			log.reset()
-			return nil, 0, gerr
-		}
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: off})
-	} else {
-		if _, aerr := t.pool.Alloc(log.bOff(), t.lay.size); aerr != nil {
-			log.reset()
-			return nil, 0, aerr
-		}
-	}
-	newLeaf := log.b().Offset
-	splitKey := t.completeSplit(leaf, newLeaf)
-	log.reset()
-	t.Ops.LeafSplits.Add(1)
-	return splitKey, newLeaf, nil
-}
-
-func (t *VarTree) completeSplit(leaf, newLeaf uint64) []byte {
-	buf := t.pool.ReadBytes(leaf, t.lay.size)
-	t.pool.WriteBytes(newLeaf, buf)
-	t.pool.Persist(newLeaf, t.lay.size)
-
-	splitKey, newBm := t.findSplitKey(leaf)
-	t.setLeafBitmap(newLeaf, newBm)
-	t.setLeafBitmap(leaf, t.fullBitmap()&^newBm)
-	t.resetInvalidPKeys(leaf)
-	t.resetInvalidPKeys(newLeaf)
-	t.setLeafNext(leaf, scm.PPtr{ArenaID: t.pool.ID(), Offset: newLeaf})
-	return splitKey
-}
-
-// resetInvalidPKeys nulls the key pointers of all invalid slots so each key
-// block keeps a single owning reference after a split.
-func (t *VarTree) resetInvalidPKeys(leaf uint64) {
-	bm := t.leafBitmap(leaf)
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) != 0 {
-			continue
-		}
-		if !t.slotPKey(leaf, s).IsNull() {
-			t.pool.WritePPtr(t.lay.pkeyOff(leaf, s), scm.PPtr{})
-			t.pool.Persist(t.lay.pkeyOff(leaf, s), scm.PPtrSize)
-		}
-	}
-}
-
-func (t *VarTree) findSplitKey(leaf uint64) ([]byte, uint64) {
-	m := t.cfg.LeafCap
-	keys := make([][]byte, m)
-	t.sbuf = t.sbuf[:0]
-	for s := 0; s < m; s++ {
-		keys[s] = t.slotKey(leaf, s)
-		t.sbuf = append(t.sbuf, s)
-	}
-	sort.Slice(t.sbuf, func(i, j int) bool { return bytes.Compare(keys[t.sbuf[i]], keys[t.sbuf[j]]) < 0 })
-	keep := (m + 1) / 2
-	splitKey := keys[t.sbuf[keep-1]]
-	var newBm uint64
-	for _, s := range t.sbuf[keep:] {
-		newBm |= 1 << s
-	}
-	return splitKey, newBm
-}
-
-func (t *VarTree) deleteLeaf(leaf, prev uint64) error {
-	log := t.m.deleteLog(0)
-	log.setA(scm.PPtr{ArenaID: t.pool.ID(), Offset: leaf})
-	if t.m.headLeaf().Offset == leaf {
-		t.m.setHeadLeaf(t.leafNext(leaf))
-	} else {
-		log.setB(scm.PPtr{ArenaID: t.pool.ID(), Offset: prev})
-		t.setLeafNext(prev, t.leafNext(leaf))
-	}
-	t.releaseLeaf(log)
-	log.reset()
-	return nil
-}
-
-func (t *VarTree) releaseLeaf(log mlog) {
-	if t.groups.enabled() {
-		if !t.recovering {
-			t.groups.freeLeaf(log.a().Offset)
-		}
-		return
-	}
-	t.pool.Free(log.aOff(), t.lay.size)
-}
-
-// --- recovery -----------------------------------------------------------------
-
-func (t *VarTree) recoverSplit(log mlog) {
-	a, b := log.a(), log.b()
-	if a.IsNull() || b.IsNull() {
-		if !a.IsNull() || !b.IsNull() {
-			log.reset()
-		}
-		return
-	}
-	if t.leafBitmap(a.Offset) == t.fullBitmap() {
-		t.completeSplit(a.Offset, b.Offset)
-	} else {
-		t.setLeafBitmap(a.Offset, t.fullBitmap()&^t.leafBitmap(b.Offset))
-		t.resetInvalidPKeys(a.Offset)
-		t.resetInvalidPKeys(b.Offset)
-		t.setLeafNext(a.Offset, b)
-	}
-	log.reset()
-}
-
-func (t *VarTree) recoverDelete(log mlog) {
-	a, b := log.a(), log.b()
-	if a.IsNull() {
-		if !b.IsNull() {
-			log.reset()
-		}
-		return
-	}
-	head := t.m.headLeaf()
-	switch {
-	case !b.IsNull():
-		t.setLeafNext(b.Offset, t.leafNext(a.Offset))
-		t.releaseLeaf(log)
-	case a == head:
-		t.m.setHeadLeaf(t.leafNext(a.Offset))
-		t.releaseLeaf(log)
-	case t.leafNext(a.Offset) == head:
-		t.releaseLeaf(log)
-	default:
-	}
-	log.reset()
-}
-
-// rebuild walks the leaf list (Algorithm 17): it gathers the max key per
-// leaf for the inner-node rebuild and, for every invalid slot with a
-// non-null key pointer, decides between the update-crash case (another valid
-// slot in the same leaf references the same key: reset the pointer) and the
-// insert/delete-crash case (no other reference: deallocate the key).
-func (t *VarTree) rebuild() {
-	t.Ops.InnerRebuilds.Add(1)
-	leaves, maxKeys, size := t.collectLeaves()
-	t.size = size
-	t.root = buildInnerNodes(leaves, maxKeys, t.cfg.InnerFanout)
-	t.groups.rebuildFreeVector(leaves)
-}
-
-// collectLeaves walks the persistent leaf list, running the leak scan on
-// every leaf, pruning leaves emptied by an interrupted delete, and returning
-// the live leaves with their max keys.
-func (t *VarTree) collectLeaves() (leaves []uint64, maxKeys [][]byte, size int) {
-	prev := uint64(0)
-	for p := t.m.headLeaf(); !p.IsNull(); {
-		leaf := p.Offset
-		next := t.leafNext(leaf)
-		t.reclaimLeaks(leaf)
-		mk, n := t.leafMaxKey(leaf)
-		if n == 0 {
-			// A crash between the last-key bitmap flip and the leaf unlink
-			// leaves an empty leaf in the list: finish the delete now.
-			t.deleteLeaf(leaf, prev) //nolint:errcheck // release path cannot fail
-			p = next
-			continue
-		}
-		leaves = append(leaves, leaf)
-		maxKeys = append(maxKeys, mk)
-		size += n
-		prev = leaf
-		p = next
-	}
-	return leaves, maxKeys, size
-}
-
-func (t *VarTree) reclaimLeaks(leaf uint64) {
-	bm := t.leafBitmap(leaf)
-	for s := 0; s < t.cfg.LeafCap; s++ {
-		if bm&(1<<s) != 0 {
-			continue
-		}
-		pk := t.slotPKey(leaf, s)
-		if pk.IsNull() {
-			continue
-		}
-		shared := false
-		for v := 0; v < t.cfg.LeafCap; v++ {
-			if bm&(1<<v) != 0 && t.slotPKey(leaf, v) == pk {
-				shared = true
-				break
-			}
-		}
-		if shared {
-			// Crashed during an update after the bitmap flip: just drop the
-			// second reference.
-			t.pool.WritePPtr(t.lay.pkeyOff(leaf, s), scm.PPtr{})
-			t.pool.Persist(t.lay.pkeyOff(leaf, s), scm.PPtrSize)
-		} else {
-			// Crashed during an insert or delete: the key block is orphaned.
-			t.pool.Free(t.lay.pkeyOff(leaf, s), t.slotKLen(leaf, s))
-		}
-	}
-}
-
-// CheckInvariants validates leaf-list ordering, fingerprints, key-pointer
-// uniqueness and reachability.
-func (t *VarTree) CheckInvariants() error {
-	var prevMax []byte
-	n := 0
-	owners := map[scm.PPtr]int{}
-	for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-		leaf := p.Offset
-		bm := t.leafBitmap(leaf)
-		t.pool.ReadInto(leaf, t.fpBuf)
-		var lo, hi []byte
-		for s := 0; s < t.cfg.LeafCap; s++ {
-			if bm&(1<<s) == 0 {
-				if !t.slotPKey(leaf, s).IsNull() {
-					return fmt.Errorf("leaf %#x slot %d: invalid slot owns a key pointer", leaf, s)
-				}
-				continue
-			}
-			k := t.slotKey(leaf, s)
-			owners[t.slotPKey(leaf, s)]++
-			if t.lay.hasFP && t.fpBuf[s] != hash1Bytes(k) {
-				return fmt.Errorf("leaf %#x slot %d: fingerprint mismatch", leaf, s)
-			}
-			if lo == nil || bytes.Compare(k, lo) < 0 {
-				lo = k
-			}
-			if hi == nil || bytes.Compare(k, hi) > 0 {
-				hi = k
-			}
-			n++
-		}
-		if lo != nil && prevMax != nil && bytes.Compare(lo, prevMax) <= 0 {
-			return fmt.Errorf("leaf %#x: min key %q <= previous max %q", leaf, lo, prevMax)
-		}
-		if hi != nil {
-			prevMax = hi
-		}
-	}
-	for pk, c := range owners {
-		if c != 1 {
-			return fmt.Errorf("key block %v has %d owners", pk, c)
-		}
-	}
-	if n != t.size {
-		return fmt.Errorf("size mismatch: list has %d keys, tree reports %d", n, t.size)
-	}
-	if t.root != nil {
-		for p := t.m.headLeaf(); !p.IsNull(); p = t.leafNext(p.Offset) {
-			leaf := p.Offset
-			bm := t.leafBitmap(leaf)
-			for s := 0; s < t.cfg.LeafCap; s++ {
-				if bm&(1<<s) == 0 {
-					continue
-				}
-				k := t.slotKey(leaf, s)
-				if got := t.findLeaf(k); got != leaf {
-					return fmt.Errorf("key %q lives in leaf %#x but descent reaches %#x", k, leaf, got)
-				}
-			}
-		}
-	}
-	return t.groups.checkInvariants()
-}
-
-// Memory reports the tree's footprint split by medium.
-func (t *VarTree) Memory() MemoryStats {
-	var st MemoryStats
-	st.SCMBytes = t.pool.AllocatedBytes()
-	var walk func(n *stInner[[]byte])
-	walk = func(n *stInner[[]byte]) {
-		st.Inners++
-		st.DRAMBytes += 48
-		for _, k := range n.keys {
-			st.DRAMBytes += uint64(len(k)) + 24
-		}
-		if n.isLeafParent() {
-			st.DRAMBytes += uint64(len(n.leaves) * 8)
-			st.Leaves += len(n.leaves)
-			return
-		}
-		st.DRAMBytes += uint64(len(n.kids) * 8)
-		for _, k := range n.kids {
-			walk(k)
-		}
-	}
-	if t.root != nil {
-		walk(t.root)
-	}
-	return st
 }

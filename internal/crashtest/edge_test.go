@@ -36,10 +36,12 @@ func TestCrashMidLeafSplit(t *testing.T) {
 }
 
 // TestCrashBetweenFingerprintAndBitmapCommit pins the FPTree's non-split
-// insert protocol: exactly four persists (key, value, fingerprint, bitmap),
-// and a crash at any of them — including after the fingerprint is durable
-// but before the bitmap commit — leaves the insert invisible and the rest
-// of the leaf untouched.
+// insert protocol: exactly two persists — the interleaved key+value slot in
+// one flush, then the fingerprint and bitmap commit batched into one flush
+// of the shared header line (the bitmap word is last in the line, so a torn
+// crash can never commit the valid bit without its fingerprint). A crash at
+// either point — including inside the fingerprint/bitmap window — leaves
+// the insert invisible and the rest of the leaf untouched.
 func TestCrashBetweenFingerprintAndBitmapCommit(t *testing.T) {
 	pool := newTestPool()
 	tr, err := core.Create(pool, core.Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
@@ -72,8 +74,8 @@ func TestCrashBetweenFingerprintAndBitmapCommit(t *testing.T) {
 			}
 			return nil
 		})
-	if n != 4 {
-		t.Fatalf("non-split FPTree insert exercised %d persist points, want 4 (key, value, fingerprint, bitmap)", n)
+	if n != 2 {
+		t.Fatalf("non-split FPTree insert exercised %d persist points, want 2 (key+value, fingerprint+bitmap)", n)
 	}
 	if v, ok := tr.Find(99); !ok || v != 1234 {
 		t.Fatalf("key 99 = %d,%v after completed insert", v, ok)

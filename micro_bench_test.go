@@ -1,0 +1,117 @@
+package fptree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the benchstat comparison tracked in EXPERIMENTS.md:
+// insert/find/scan on both key codecs, through the public facades only, so
+// the same binary-independent workload runs before and after core refactors.
+
+func benchFixedTree(b *testing.B, n uint64) *Tree {
+	b.Helper()
+	tree, err := Create(Options{PoolSize: 256 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if err := tree.Insert(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func benchVarTree(b *testing.B, n int) *VarTree {
+	b.Helper()
+	tree, err := CreateVar(Options{PoolSize: 512 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tree.Insert([]byte(fmt.Sprintf("key%013d", i)), []byte("12345678")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree
+}
+
+func BenchmarkMicroInsertFixed(b *testing.B) {
+	tree, err := Create(Options{PoolSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(rng.Uint64()|1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroFindFixed(b *testing.B) {
+	const n = 100000
+	tree := benchFixedTree(b, n)
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tree.Find(rng.Uint64()%n + 1); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkMicroScanFixed(b *testing.B) {
+	const n = 100000
+	tree := benchFixedTree(b, n)
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := tree.ScanN(rng.Uint64()%n+1, 100)
+		if len(got) == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
+
+func BenchmarkMicroInsertVar(b *testing.B) {
+	tree, err := CreateVar(Options{PoolSize: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert([]byte(fmt.Sprintf("key%013d", rng.Uint64())), []byte("12345678")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicroFindVar(b *testing.B) {
+	const n = 100000
+	tree := benchVarTree(b, n)
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tree.Find([]byte(fmt.Sprintf("key%013d", rng.Intn(n)))); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkMicroScanVar(b *testing.B) {
+	const n = 100000
+	tree := benchVarTree(b, n)
+	rng := rand.New(rand.NewSource(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := tree.ScanN([]byte(fmt.Sprintf("key%013d", rng.Intn(n))), 100)
+		if len(got) == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}
