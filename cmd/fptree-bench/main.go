@@ -18,6 +18,15 @@
 // fences/op per workload) for regression tracking; see BENCH_baseline.json at
 // the repository root for the committed baseline. Like -stats, -json given
 // without -exp runs only the JSON suite.
+//
+// -recovery runs the recovery-time experiment instead (see RECOVERY.md and
+// the recovery section of EXPERIMENTS.md): for each -recovery-keys size it
+// bulk loads a tree, simulates a restart, and times core.Open at each
+// -recovery-workers count under the emulated SCM latency. With -json the
+// measurements are written as the report's "recovery" records.
+//
+// -check-json <path> validates an existing -json document against the report
+// schema and exits; CI's recovery-smoke job runs it over fresh output.
 package main
 
 import (
@@ -25,21 +34,56 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"fptree/internal/bench"
 )
 
+// parseIntList parses a comma-separated list of positive ints ("1,2,4").
+func parseIntList(flagName, s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "-%s: bad value %q in %q\n", flagName, f, s)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: tab1|fig4|fig7|fig7var|fig7rec|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-fp|ablation-groups|ablation-sp|all")
-		warm    = flag.Int("warm", 100000, "warm-up keys")
-		ops     = flag.Int("ops", 50000, "measured operations")
-		scale   = flag.String("scale", "small", "small | paper (paper: 50M/50M — hours of runtime)")
-		threads = flag.String("threads", "", "comma-free max thread count for fig9-11 (default NumCPU*2)")
-		stats   = flag.Bool("stats", false, "print per-phase metric deltas (flushes/op, fences/op, FP-rate, abort ratio)")
-		jsonOut = flag.String("json", "", "write machine-readable workload results (ops/sec, p50/p99, flushes/op, fences/op) to this path")
+		exp        = flag.String("exp", "all", "experiment: tab1|fig4|fig7|fig7var|fig7rec|fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablation-fp|ablation-groups|ablation-sp|all")
+		warm       = flag.Int("warm", 100000, "warm-up keys")
+		ops        = flag.Int("ops", 50000, "measured operations")
+		scale      = flag.String("scale", "small", "small | paper (paper: 50M/50M — hours of runtime)")
+		threads    = flag.String("threads", "", "comma-free max thread count for fig9-11 (default NumCPU*2)")
+		stats      = flag.Bool("stats", false, "print per-phase metric deltas (flushes/op, fences/op, FP-rate, abort ratio)")
+		jsonOut    = flag.String("json", "", "write machine-readable workload results (ops/sec, p50/p99, flushes/op, fences/op) to this path")
+		recovery   = flag.Bool("recovery", false, "run the recovery-time experiment (recovery time vs tree size per worker count)")
+		recKeys    = flag.String("recovery-keys", "100000,1000000", "comma-separated tree sizes for -recovery")
+		recWorkers = flag.String("recovery-workers", "1,2", "comma-separated recovery worker counts for -recovery")
+		recLatency = flag.Int("recovery-latency", 250, "emulated SCM latency in ns for -recovery")
+		recVar     = flag.Bool("recovery-var", false, "also measure the variable-size-key tree in -recovery")
+		checkJSON  = flag.String("check-json", "", "validate an existing -json report at this path and exit")
 	)
 	flag.Parse()
+
+	if *checkJSON != "" {
+		data, err := os.ReadFile(*checkJSON)
+		if err == nil {
+			err = bench.ValidateReport(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "check-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid bench report\n", *checkJSON)
+		return
+	}
 	expSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "exp" {
@@ -72,10 +116,19 @@ func main() {
 	if *stats {
 		run("stats", func() error { return bench.StatsReport(w, sc) })
 	}
-	if *jsonOut != "" {
+	if *recovery {
+		cfg := bench.RecoveryConfig{
+			Sizes:     parseIntList("recovery-keys", *recKeys),
+			Workers:   parseIntList("recovery-workers", *recWorkers),
+			LatencyNS: *recLatency,
+			Var:       *recVar,
+			JSONPath:  *jsonOut,
+		}
+		run("recovery", func() error { return bench.RecoveryBench(w, cfg) })
+	} else if *jsonOut != "" {
 		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc) })
 	}
-	if (*stats || *jsonOut != "") && !expSet {
+	if (*stats || *recovery || *jsonOut != "") && !expSet {
 		return
 	}
 

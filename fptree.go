@@ -54,7 +54,15 @@ type Options struct {
 	// Latency configures the emulated SCM medium. The zero value disables
 	// latency emulation (counting only).
 	Latency LatencyProfile
+	// Recovery tunes crash recovery (Load and Recover): Workers > 1 scans
+	// the persistent leaves in parallel while rebuilding the DRAM inner
+	// nodes. The recovered tree is identical for every worker count.
+	Recovery RecoveryOptions
 }
+
+// RecoveryOptions tunes how recovery rebuilds the DRAM inner nodes from the
+// persistent leaves; see core.RecoveryOptions.
+type RecoveryOptions = core.RecoveryOptions
 
 // LatencyProfile describes the emulated SCM medium.
 type LatencyProfile struct {
@@ -116,6 +124,7 @@ type VarKV = core.VarKV
 type Tree struct {
 	t    *core.Tree
 	pool *scm.Pool
+	rec  RecoveryOptions
 }
 
 // Create formats a new single-threaded FPTree in a fresh arena.
@@ -125,7 +134,7 @@ func Create(opts Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{t: t, pool: pool}, nil
+	return &Tree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // Load opens an arena image written by Save and recovers the tree in it.
@@ -134,16 +143,16 @@ func Load(path string, opts Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := core.Open(pool)
+	t, err := core.Open(pool, opts.Recovery)
 	if err != nil {
 		return nil, err
 	}
-	return &Tree{t: t, pool: pool}, nil
+	return &Tree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // Recover re-opens the tree after a simulated crash on the same pool.
 func (t *Tree) Recover() error {
-	nt, err := core.Open(t.pool)
+	nt, err := core.Open(t.pool, t.rec)
 	if err != nil {
 		return err
 	}
@@ -195,6 +204,7 @@ func (t *Tree) CheckInvariants() error { return t.t.CheckInvariants() }
 type CTree struct {
 	t    *core.CTree
 	pool *scm.Pool
+	rec  RecoveryOptions
 }
 
 // CreateConcurrent formats a new concurrent FPTree in a fresh arena.
@@ -209,7 +219,7 @@ func CreateConcurrent(opts Options) (*CTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CTree{t: t, pool: pool}, nil
+	return &CTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // LoadConcurrent opens an arena image and recovers the concurrent tree.
@@ -218,16 +228,16 @@ func LoadConcurrent(path string, opts Options) (*CTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := core.COpen(pool)
+	t, err := core.COpen(pool, opts.Recovery)
 	if err != nil {
 		return nil, err
 	}
-	return &CTree{t: t, pool: pool}, nil
+	return &CTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // Recover re-opens the tree after a simulated crash on the same pool.
 func (t *CTree) Recover() error {
-	nt, err := core.COpen(t.pool)
+	nt, err := core.COpen(t.pool, t.rec)
 	if err != nil {
 		return err
 	}
@@ -271,6 +281,7 @@ func (t *CTree) Len() int { return t.t.Len() }
 type VarTree struct {
 	t    *core.VarTree
 	pool *scm.Pool
+	rec  RecoveryOptions
 }
 
 // CreateVar formats a new single-threaded variable-size-key FPTree.
@@ -280,7 +291,7 @@ func CreateVar(opts Options) (*VarTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VarTree{t: t, pool: pool}, nil
+	return &VarTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // LoadVar opens an arena image and recovers the variable-size-key tree.
@@ -289,16 +300,16 @@ func LoadVar(path string, opts Options) (*VarTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := core.OpenVar(pool)
+	t, err := core.OpenVar(pool, opts.Recovery)
 	if err != nil {
 		return nil, err
 	}
-	return &VarTree{t: t, pool: pool}, nil
+	return &VarTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // Recover re-opens the tree after a simulated crash on the same pool.
 func (t *VarTree) Recover() error {
-	nt, err := core.OpenVar(t.pool)
+	nt, err := core.OpenVar(t.pool, t.rec)
 	if err != nil {
 		return err
 	}
@@ -327,6 +338,11 @@ func (t *VarTree) Upsert(key, value []byte) error { return t.t.Upsert(key, value
 // Delete removes key, reporting whether it existed.
 func (t *VarTree) Delete(key []byte) (bool, error) { return t.t.Delete(key) }
 
+// BulkLoad populates an empty tree from pairs sorted by bytewise key order,
+// far faster than repeated inserts; fill is the leaf fill factor (0 = 70%).
+// A crash during the load recovers a consistent prefix.
+func (t *VarTree) BulkLoad(kvs []VarKV, fill float64) error { return t.t.BulkLoad(kvs, fill) }
+
 // Scan visits pairs with key >= from in ascending order until fn returns
 // false.
 func (t *VarTree) Scan(from []byte, fn func(VarKV) bool) { t.t.Scan(from, fn) }
@@ -341,6 +357,7 @@ func (t *VarTree) Len() int { return t.t.Len() }
 type CVarTree struct {
 	t    *core.CVarTree
 	pool *scm.Pool
+	rec  RecoveryOptions
 }
 
 // CreateConcurrentVar formats a new concurrent variable-size-key FPTree.
@@ -355,7 +372,7 @@ func CreateConcurrentVar(opts Options) (*CVarTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CVarTree{t: t, pool: pool}, nil
+	return &CVarTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // LoadConcurrentVar opens an arena image and recovers the tree.
@@ -364,16 +381,16 @@ func LoadConcurrentVar(path string, opts Options) (*CVarTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := core.COpenVar(pool)
+	t, err := core.COpenVar(pool, opts.Recovery)
 	if err != nil {
 		return nil, err
 	}
-	return &CVarTree{t: t, pool: pool}, nil
+	return &CVarTree{t: t, pool: pool, rec: opts.Recovery}, nil
 }
 
 // Recover re-opens the tree after a simulated crash on the same pool.
 func (t *CVarTree) Recover() error {
-	nt, err := core.COpenVar(t.pool)
+	nt, err := core.COpenVar(t.pool, t.rec)
 	if err != nil {
 		return err
 	}

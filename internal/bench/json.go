@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -39,6 +40,69 @@ type JSONReport struct {
 	NumCPU      int                  `json:"num_cpu"`
 	Warm        int                  `json:"warm_keys"`
 	Results     []JSONWorkloadResult `json:"results"`
+	// Recovery holds the recovery-time experiment records written by the
+	// -recovery workload (see RecoveryBench); absent from workload-only runs.
+	Recovery []JSONRecoveryResult `json:"recovery,omitempty"`
+}
+
+// newJSONReport stamps the common environment fields.
+func newJSONReport(warm int) JSONReport {
+	return JSONReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Warm:        warm,
+	}
+}
+
+// writeJSONReport writes the indented document to path.
+func writeJSONReport(rep JSONReport, path string) error {
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ValidateReport checks that data is a well-formed -json document: strictly
+// decodable (unknown fields rejected, so schema drift is caught), carrying a
+// parseable timestamp and at least one workload or recovery record with sane
+// values. CI's recovery-smoke job runs it over freshly produced output.
+func ValidateReport(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep JSONReport
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("bench: report does not match schema: %w", err)
+	}
+	if _, err := time.Parse(time.RFC3339, rep.GeneratedAt); err != nil {
+		return fmt.Errorf("bench: bad generated_at %q: %w", rep.GeneratedAt, err)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("bench: missing go_version")
+	}
+	if len(rep.Results) == 0 && len(rep.Recovery) == 0 {
+		return fmt.Errorf("bench: report has neither workload nor recovery records")
+	}
+	for i, r := range rep.Results {
+		if r.Tree == "" || r.Workload == "" || r.Ops <= 0 || r.OpsPerSec <= 0 {
+			return fmt.Errorf("bench: results[%d] malformed: %+v", i, r)
+		}
+	}
+	for i, r := range rep.Recovery {
+		switch {
+		case r.Tree == "" || r.Keys <= 0 || r.Workers <= 0:
+			return fmt.Errorf("bench: recovery[%d] malformed: %+v", i, r)
+		case r.RecoveryMS <= 0 || r.RebuildMS < 0 || r.RebuildMS > r.RecoveryMS:
+			return fmt.Errorf("bench: recovery[%d] has inconsistent timings: %+v", i, r)
+		case r.LeavesScanned == 0 || r.SpeedupVs1 <= 0:
+			return fmt.Errorf("bench: recovery[%d] missing scan counters: %+v", i, r)
+		}
+	}
+	return nil
 }
 
 // measureJSON times each op individually (for percentiles) and snapshots the
@@ -76,14 +140,7 @@ func measureJSON(tree, workload string, reg *obs.Registry, n int, fn func(i int)
 // the results as an indented JSON document to path. A one-line summary per
 // workload goes to w so interactive runs still show progress.
 func JSONBench(w io.Writer, path string, sc Scale) error {
-	rep := JSONReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Warm:        sc.Warm,
-	}
+	rep := newJSONReport(sc.Warm)
 	note := func(r JSONWorkloadResult) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(w, "%-10s %-8s %9.0f ops/s  p50 %6dns  p99 %7dns  %.2f flushes/op  %.2f fences/op\n",
@@ -97,12 +154,7 @@ func JSONBench(w io.Writer, path string, sc Scale) error {
 		return err
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
+	if err := writeJSONReport(rep, path); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "wrote %d workload results to %s\n", len(rep.Results), path)

@@ -1,0 +1,226 @@
+package bench
+
+// Recovery-time experiment: the reproduction of the paper's §6 measurement
+// that FPTree recovery is a fast linear scan of the leaf level (the DRAM
+// inner nodes are rebuilt, not logged), and of the observation that the scan
+// parallelizes across recovery threads. For each tree size the harness bulk
+// loads a tree, simulates a restart (cold caches, only the durable view
+// survives), and times core.Open at each requested worker count under the
+// emulated SCM latency. Latency is charged in LatencySleep mode so the media
+// waits of concurrent scan workers overlap in wall clock even when the host
+// has fewer cores than workers; see scm.LatencySleep.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fptree/internal/core"
+	"fptree/internal/scm"
+)
+
+// JSONRecoveryResult is one recovery-time measurement: one tree, one size,
+// one worker count.
+type JSONRecoveryResult struct {
+	Tree          string  `json:"tree"`       // FPTree | FPTreeVar
+	Keys          int     `json:"keys"`       // live pairs in the recovered tree
+	Workers       int     `json:"workers"`    // RecoveryOptions.Workers
+	LatencyNS     int     `json:"latency_ns"` // emulated SCM read/write latency
+	RecoveryMS    float64 `json:"recovery_ms"`
+	RebuildMS     float64 `json:"rebuild_ms"` // leaf scan + inner rebuild portion
+	LeavesScanned uint64  `json:"leaves_scanned"`
+	GroupsScanned uint64  `json:"groups_scanned"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"` // recovery_ms(workers=1) / recovery_ms
+}
+
+// RecoveryConfig parameterizes RecoveryBench.
+type RecoveryConfig struct {
+	Sizes     []int  // tree sizes in keys; defaults to {100000, 1000000}
+	Workers   []int  // worker counts; 1 is always included as the baseline
+	LatencyNS int    // emulated SCM latency; defaults to 250 (reads and writes)
+	Var       bool   // also measure the variable-size-key tree
+	JSONPath  string // when non-empty, write a JSONReport with Recovery records
+}
+
+func (c *RecoveryConfig) normalize() {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{100000, 1000000}
+	}
+	if c.LatencyNS == 0 {
+		c.LatencyNS = 250
+	}
+	seen := map[int]bool{1: true}
+	ws := []int{1}
+	for _, w := range c.Workers {
+		if w > 1 && !seen[w] {
+			seen[w] = true
+			ws = append(ws, w)
+		}
+	}
+	if len(ws) == 1 {
+		ws = append(ws, 2)
+	}
+	sort.Ints(ws)
+	c.Workers = ws
+}
+
+// recoveryPoolMB sizes the arena for a bulk-loaded tree of n keys with
+// ample headroom (leaves at the default fill factor, groups, allocator
+// metadata; var keys additionally allocate one line-rounded block per key).
+func recoveryPoolMB(n int, varKeys bool) int {
+	perKey := 64
+	if varKeys {
+		perKey = 192
+	}
+	return 64 + n*perKey>>20
+}
+
+// RecoveryBench runs the recovery-time experiment and streams one summary
+// line per measurement to w.
+func RecoveryBench(w io.Writer, cfg RecoveryConfig) error {
+	cfg.normalize()
+	var results []JSONRecoveryResult
+	for _, size := range cfg.Sizes {
+		rs, err := measureRecoveryFixed(w, size, cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, rs...)
+		if cfg.Var {
+			rs, err := measureRecoveryVar(w, size, cfg)
+			if err != nil {
+				return err
+			}
+			results = append(results, rs...)
+		}
+	}
+	if cfg.JSONPath != "" {
+		rep := newJSONReport(0)
+		rep.Recovery = results
+		if err := writeJSONReport(rep, cfg.JSONPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d recovery results to %s\n", len(results), cfg.JSONPath)
+	}
+	return nil
+}
+
+func noteRecovery(w io.Writer, r JSONRecoveryResult) {
+	fmt.Fprintf(w, "%-9s %9d keys  workers=%-2d  recovery %8.1f ms  rebuild %8.1f ms  %8d leaves  %.2fx\n",
+		r.Tree, r.Keys, r.Workers, r.RecoveryMS, r.RebuildMS, r.LeavesScanned, r.SpeedupVs1)
+}
+
+// timeRecovery simulates a restart of pool and times one recovery at the
+// given worker count. open must run the codec-appropriate core.Open*.
+func timeRecovery(pool *scm.Pool, lat time.Duration, open func() (*core.OpStats, int, error)) (time.Duration, *core.OpStats, int, error) {
+	// A restart: unflushed lines are lost (none here — a quiescent tree is
+	// fully flushed) and the CPU cache is cold. Recovery itself runs under
+	// the emulated SCM latency; everything around it does not.
+	pool.Crash()
+	pool.SetLatency(scm.LatencySleep, lat, lat)
+	start := time.Now()
+	ops, n, err := open()
+	dt := time.Since(start)
+	pool.SetLatency(scm.LatencyCount, 0, 0)
+	return dt, ops, n, err
+}
+
+func measureRecoveryFixed(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecoveryResult, error) {
+	pool := scm.NewPool(int64(recoveryPoolMB(size, false))<<20, scm.LatencyConfig{})
+	tr, err := core.Create(pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	kvs := make([]core.KV, size)
+	for i := range kvs {
+		kvs[i] = core.KV{Key: uint64(i)*2 + 1, Value: uint64(i)}
+	}
+	if err := tr.BulkLoad(kvs, 0); err != nil {
+		return nil, err
+	}
+	lat := time.Duration(cfg.LatencyNS) * time.Nanosecond
+	var out []JSONRecoveryResult
+	var base float64
+	for _, workers := range cfg.Workers {
+		dt, ops, n, err := timeRecovery(pool, lat, func() (*core.OpStats, int, error) {
+			t, err := core.Open(pool, core.RecoveryOptions{Workers: workers})
+			if err != nil {
+				return nil, 0, err
+			}
+			return &t.Ops, t.Len(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n != size {
+			return nil, fmt.Errorf("bench: recovered %d keys, want %d", n, size)
+		}
+		r := recoveryResult("FPTree", size, workers, cfg.LatencyNS, dt, ops, &base)
+		noteRecovery(w, r)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func measureRecoveryVar(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecoveryResult, error) {
+	pool := scm.NewPool(int64(recoveryPoolMB(size, true))<<20, scm.LatencyConfig{})
+	tr, err := core.CreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8, ValueSize: 8})
+	if err != nil {
+		return nil, err
+	}
+	val := []byte("valuedat")
+	kvs := make([]core.VarKV, size)
+	for i := range kvs {
+		kvs[i] = core.VarKV{Key: keys16(uint64(i)), Value: val}
+	}
+	if err := tr.BulkLoad(kvs, 0); err != nil {
+		return nil, err
+	}
+	lat := time.Duration(cfg.LatencyNS) * time.Nanosecond
+	var out []JSONRecoveryResult
+	var base float64
+	for _, workers := range cfg.Workers {
+		dt, ops, n, err := timeRecovery(pool, lat, func() (*core.OpStats, int, error) {
+			t, err := core.OpenVar(pool, core.RecoveryOptions{Workers: workers})
+			if err != nil {
+				return nil, 0, err
+			}
+			return &t.Ops, t.Len(), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n != size {
+			return nil, fmt.Errorf("bench: recovered %d keys, want %d", n, size)
+		}
+		r := recoveryResult("FPTreeVar", size, workers, cfg.LatencyNS, dt, ops, &base)
+		noteRecovery(w, r)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// recoveryResult assembles one record; base carries the workers=1 time
+// across the worker sweep for the speedup column.
+func recoveryResult(tree string, size, workers, latNS int, dt time.Duration, ops *core.OpStats, base *float64) JSONRecoveryResult {
+	ms := float64(dt.Nanoseconds()) / 1e6
+	if workers == 1 {
+		*base = ms
+	}
+	speedup := 1.0
+	if ms > 0 && *base > 0 {
+		speedup = *base / ms
+	}
+	return JSONRecoveryResult{
+		Tree:          tree,
+		Keys:          size,
+		Workers:       workers,
+		LatencyNS:     latNS,
+		RecoveryMS:    ms,
+		RebuildMS:     float64(ops.RecoveryNanos.Load()) / 1e6,
+		LeavesScanned: ops.RecoveryLeaves.Load(),
+		GroupsScanned: ops.RecoveryGroups.Load(),
+		SpeedupVs1:    speedup,
+	}
+}

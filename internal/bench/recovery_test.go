@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecoveryBenchJSON drives the recovery workload end-to-end at a small
+// size and checks the produced document against the schema validator — the
+// same pairing CI's recovery-smoke job runs via the fptree-bench binary.
+func TestRecoveryBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rec.json")
+	var out bytes.Buffer
+	err := RecoveryBench(&out, RecoveryConfig{
+		Sizes:    []int{3000},
+		Workers:  []int{1, 2},
+		Var:      true,
+		JSONPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatalf("produced report fails validation: %v", err)
+	}
+	for _, want := range []string{"FPTree ", "FPTreeVar", "workers=1", "workers=2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestValidateReportRejects exercises the malformed-document branches the
+// smoke job relies on to catch schema drift.
+func TestValidateReportRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":      `{"generated_at":"2026-01-02T03:04:05Z","go_version":"go1.23","goos":"linux","goarch":"amd64","num_cpu":1,"warm_keys":0,"bogus":1,"recovery":[]}`,
+		"no records":         `{"generated_at":"2026-01-02T03:04:05Z","go_version":"go1.23","goos":"linux","goarch":"amd64","num_cpu":1,"warm_keys":0}`,
+		"bad timestamp":      `{"generated_at":"yesterday","go_version":"go1.23","goos":"linux","goarch":"amd64","num_cpu":1,"warm_keys":0,"recovery":[{"tree":"FPTree","keys":1,"workers":1,"latency_ns":0,"recovery_ms":1,"rebuild_ms":0.5,"leaves_scanned":1,"groups_scanned":0,"speedup_vs_1":1}]}`,
+		"zero workers":       `{"generated_at":"2026-01-02T03:04:05Z","go_version":"go1.23","goos":"linux","goarch":"amd64","num_cpu":1,"warm_keys":0,"recovery":[{"tree":"FPTree","keys":1,"workers":0,"latency_ns":0,"recovery_ms":1,"rebuild_ms":0.5,"leaves_scanned":1,"groups_scanned":0,"speedup_vs_1":1}]}`,
+		"rebuild > recovery": `{"generated_at":"2026-01-02T03:04:05Z","go_version":"go1.23","goos":"linux","goarch":"amd64","num_cpu":1,"warm_keys":0,"recovery":[{"tree":"FPTree","keys":1,"workers":1,"latency_ns":0,"recovery_ms":1,"rebuild_ms":2,"leaves_scanned":1,"groups_scanned":0,"speedup_vs_1":1}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateReport([]byte(doc)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}

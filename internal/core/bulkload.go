@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"fptree/internal/scm"
 )
@@ -11,19 +10,26 @@ import (
 // ~70% node fill the paper's Figure 8 measurement uses.
 const DefaultBulkFill = 0.7
 
-// BulkLoad populates an empty tree from a key-value slice far faster than
-// repeated inserts: leaves are written sequentially at the given fill factor
-// (0 = DefaultBulkFill) and linked as they complete, then the inner nodes
-// are built in one pass — the same procedure recovery uses.
+// bulkLoad populates an empty tree from n sorted pairs, delivered by at(i),
+// far faster than repeated inserts: leaves are written sequentially at the
+// given fill factor (0 = DefaultBulkFill) and linked as they complete, then
+// the inner nodes are built in one pass — the same procedure recovery uses.
+// It is generic over the codec, so both the fixed and the var facades wrap
+// it. Bulk loading requires leaf groups and a single-threaded tree.
 //
-// Crash consistency: the persistent leaf list always forms a consistent
-// prefix of the load (each leaf is complete and durable before it is
-// linked), so a crash mid-load recovers a tree holding the first k pairs for
-// some k. Leaves that were carved but never linked return to the free
-// vector during recovery. Bulk loading requires leaf groups (the default
-// configuration).
-func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
-	e := t.engine
+// Crash consistency: each leaf is made durable with its validity bitmap
+// still zero, then linked into the list, and only then is the bitmap
+// committed. The list is therefore a consistent prefix of the load at every
+// instant, and — crucially — a leaf that is not reachable from the list
+// never carries a nonzero durable bitmap. (Committing the bitmap before the
+// link looks equally safe but is not: recovery would reclassify the
+// unreachable leaf as free while its durable bitmap still marks the dead
+// slots valid, and the next firstLeaf reuse would resurrect them.) Key
+// blocks the var codec already published into an unlinked leaf's slots are
+// reclaimed by recovery's free-leaf sweep. A bulk load that returns a
+// non-nil error mid-way (allocation failure) leaves carved leaves behind;
+// reopen the pool to reclaim them before using the tree.
+func (e *engine[K, V]) bulkLoad(n int, fill float64, at func(int) (K, V)) error {
 	if e.root.Load().cnt.Load() != 0 || !e.m.headLeaf().IsNull() {
 		return fmt.Errorf("fptree: BulkLoad requires an empty tree")
 	}
@@ -36,49 +42,78 @@ func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
 	if fill <= 0 || fill > 1 {
 		return fmt.Errorf("fptree: fill factor %v out of (0,1]", fill)
 	}
-	if !sort.SliceIsSorted(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key }) {
-		return fmt.Errorf("fptree: BulkLoad input must be sorted by key")
+	for i := 0; i < n; i++ {
+		k, _ := at(i)
+		if err := e.cdc.validateKey(k); err != nil {
+			return err
+		}
+		if i > 0 {
+			if prev, _ := at(i - 1); e.cdc.less(k, prev) {
+				return fmt.Errorf("fptree: BulkLoad input must be sorted by key")
+			}
+		}
 	}
-	lay := e.cdc.(*fixedCodec).lay // raw slot layout: bulk writes bypass per-slot persists
 	per := int(float64(e.sh.cap) * fill)
 	if per < 1 {
 		per = 1
 	}
-	var leaves, maxKeys []uint64
+	leaves := make([]uint64, 0, (n+per-1)/per)
+	maxKeys := make([]K, 0, (n+per-1)/per)
 	prev := uint64(0)
-	for at := 0; at < len(kvs); at += per {
-		end := at + per
-		if end > len(kvs) {
-			end = len(kvs)
+	for base := 0; base < n; base += per {
+		end := base + per
+		if end > n {
+			end = n
 		}
 		leaf, err := e.groups.getLeaf()
 		if err != nil {
 			return err
 		}
 		var bm uint64
-		for s, kv := range kvs[at:end] {
-			e.pool.WriteU64(lay.keyOff(leaf, s), kv.Key)
-			e.pool.WriteU64(lay.valOff(leaf, s), kv.Value)
-			if lay.hasFP {
-				e.pool.WriteU8(leaf+uint64(s), hash1(kv.Key))
+		var maxK K
+		for s := 0; s < end-base; s++ {
+			k, v := at(base + s)
+			if err := e.cdc.writeSlot(leaf, s, k, v); err != nil {
+				return err
+			}
+			if e.sh.hasFP {
+				e.pool.WriteU8(leaf+uint64(s), e.cdc.fingerprint(k))
 			}
 			bm |= 1 << s
+			maxK = k
 		}
-		e.pool.WriteU64(leaf+lay.offBitmap, bm)
-		e.pool.WritePPtr(leaf+lay.offNext, scm.PPtr{})
-		e.pool.Persist(leaf, lay.size)
-		// Link only after the leaf is durable: the list stays a consistent
-		// prefix at every instant.
+		e.pool.WriteU64(leaf+e.sh.offBitmap, 0)
+		e.pool.WritePPtr(leaf+e.sh.offNext, scm.PPtr{})
+		e.pool.Persist(leaf, e.sh.size)
 		if prev == 0 {
 			e.m.setHeadLeaf(scm.PPtr{ArenaID: e.pool.ID(), Offset: leaf})
 		} else {
 			e.setLeafNext(prev, scm.PPtr{ArenaID: e.pool.ID(), Offset: leaf})
 		}
+		e.persistLeafHeader(leaf, bm)
 		prev = leaf
 		leaves = append(leaves, leaf)
-		maxKeys = append(maxKeys, kvs[end-1].Key)
-		e.size.Add(int64(end - at))
+		maxKeys = append(maxKeys, maxK)
+		e.size.Add(int64(end - base))
 	}
 	e.root.Store(buildInner(leaves, maxKeys, e.maxKids()))
 	return nil
+}
+
+// BulkLoad populates an empty tree from a sorted key-value slice; fill is
+// the leaf fill factor (0 = DefaultBulkFill). See bulkLoad for the crash
+// contract.
+func (t *Tree) BulkLoad(kvs []KV, fill float64) error {
+	return t.engine.bulkLoad(len(kvs), fill, func(i int) (uint64, uint64) {
+		return kvs[i].Key, kvs[i].Value
+	})
+}
+
+// BulkLoad populates an empty variable-size-key tree from a slice sorted by
+// bytewise key order; fill is the leaf fill factor (0 = DefaultBulkFill).
+// See bulkLoad for the crash contract.
+func (t *VarTree) BulkLoad(kvs []VarKV, fill float64) error {
+	return t.engine.bulkLoad(len(kvs), fill, func(i int) ([]byte, []byte) {
+		return kvs[i].Key, kvs[i].Value
+	})
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"fptree/internal/scm"
@@ -53,8 +54,21 @@ type codec[K, V any] interface {
 	// halves' complementary bitmaps are durable (var: null the invalid
 	// slots' key pointers in both halves).
 	afterSplitBitmaps(leaf, newLeaf uint64)
-	// reclaimLeaks is the Algorithm 17 per-leaf recovery scan.
-	reclaimLeaks(leaf uint64)
+	// scanLeaks is the detection half of the Algorithm 17 per-leaf recovery
+	// scan: it reads the leaf and reports the repairs needed, without
+	// touching SCM. Read-only so parallel recovery workers may run it
+	// concurrently; the engine applies the actions sequentially afterwards.
+	scanLeaks(leaf uint64) []leakAction
+	// applyLeaks performs the durable repairs scanLeaks detected, in slot
+	// order.
+	applyLeaks(leaf uint64, acts []leakAction)
+	// scanLeaf is the one-stop per-leaf recovery read: the live max key, the
+	// live count, and the scanLeaks repairs, computed from a single batched
+	// read of the leaf image (one emulator crossing instead of one per slot
+	// — the recovery scan visits every slot anyway, so per-slot accessors
+	// only add overhead). Read-only, so recovery workers run it in parallel;
+	// it must detect exactly the repairs scanLeaks would.
+	scanLeaf(leaf uint64) (K, int, []leakAction)
 
 	// checkInvalidSlot / ownerToken support CheckInvariants: codec-specific
 	// invariants of invalid slots, and a token identifying shared key
@@ -85,9 +99,9 @@ func (c *fixedCodec) shape() leafShape {
 	return leafShape{cap: c.lay.cap, hasFP: c.lay.hasFP, offBitmap: c.lay.offBitmap, offNext: c.lay.offNext, size: c.lay.size}
 }
 
-func (c *fixedCodec) less(a, b uint64) bool       { return a < b }
-func (c *fixedCodec) fingerprint(k uint64) byte   { return hash1(k) }
-func (c *fixedCodec) validateKey(uint64) error    { return nil }
+func (c *fixedCodec) less(a, b uint64) bool     { return a < b }
+func (c *fixedCodec) fingerprint(k uint64) byte { return hash1(k) }
+func (c *fixedCodec) validateKey(uint64) error  { return nil }
 
 func (c *fixedCodec) slotKey(leaf uint64, s int) uint64 {
 	return c.pool.ReadU64(c.lay.keyOff(leaf, s))
@@ -121,11 +135,32 @@ func (c *fixedCodec) moveSlot(leaf uint64, slot, prev int, k, v uint64) {
 	c.writeSlot(leaf, slot, k, v) //nolint:errcheck // fixed writeSlot cannot fail
 }
 
-func (c *fixedCodec) afterUpdate(uint64, int)           {}
-func (c *fixedCodec) releaseSlotKey(uint64, int)        {}
-func (c *fixedCodec) afterSplitBitmaps(uint64, uint64)  {}
-func (c *fixedCodec) reclaimLeaks(uint64)               {}
+func (c *fixedCodec) afterUpdate(uint64, int)            {}
+func (c *fixedCodec) releaseSlotKey(uint64, int)         {}
+func (c *fixedCodec) afterSplitBitmaps(uint64, uint64)   {}
+func (c *fixedCodec) scanLeaks(uint64) []leakAction      { return nil }
+func (c *fixedCodec) applyLeaks(uint64, []leakAction)    {}
 func (c *fixedCodec) checkInvalidSlot(uint64, int) error { return nil }
+
+// scanLeaf reads the whole leaf image once and folds the max-key scan over
+// it; fixed keys have no leak repairs.
+func (c *fixedCodec) scanLeaf(leaf uint64) (uint64, int, []leakAction) {
+	buf := c.pool.ReadBytes(leaf, c.lay.size)
+	bm := binary.LittleEndian.Uint64(buf[c.lay.offBitmap:])
+	var maxK uint64
+	n := 0
+	for s := 0; s < c.lay.cap; s++ {
+		if bm&(1<<s) == 0 {
+			continue
+		}
+		k := binary.LittleEndian.Uint64(buf[c.lay.keyOff(0, s):])
+		n++
+		if n == 1 || k > maxK {
+			maxK = k
+		}
+	}
+	return maxK, n, nil
+}
 
 func (c *fixedCodec) ownerToken(uint64, int) (scm.PPtr, bool) { return scm.PPtr{}, false }
 
@@ -258,12 +293,21 @@ func (c *varCodec) resetInvalidPKeys(leaf uint64) {
 	}
 }
 
-// reclaimLeaks is Algorithm 17: for every invalid slot with a non-null key
-// pointer, decide between the update-crash case (another valid slot in the
-// same leaf references the same key: reset the pointer) and the
-// insert/delete-crash case (no other reference: deallocate the key).
-func (c *varCodec) reclaimLeaks(leaf uint64) {
+// leakAction is one repair the Algorithm 17 leak scan detected in a leaf:
+// either deallocate the invalid slot's key block (free) or just null the
+// slot's dangling reference (the block is still owned by a valid slot).
+type leakAction struct {
+	slot int
+	free bool
+}
+
+// scanLeaks is the detection half of Algorithm 17: for every invalid slot
+// with a non-null key pointer, decide between the update-crash case (another
+// valid slot in the same leaf references the same key: reset the pointer)
+// and the insert/delete-crash case (no other reference: deallocate the key).
+func (c *varCodec) scanLeaks(leaf uint64) []leakAction {
 	bm := c.pool.ReadU64(leaf + c.lay.offBitmap)
+	var acts []leakAction
 	for s := 0; s < c.lay.cap; s++ {
 		if bm&(1<<s) != 0 {
 			continue
@@ -279,13 +323,68 @@ func (c *varCodec) reclaimLeaks(leaf uint64) {
 				break
 			}
 		}
-		if shared {
-			c.pool.WritePPtr(c.lay.pkeyOff(leaf, s), scm.PPtr{})
-			c.pool.Persist(c.lay.pkeyOff(leaf, s), scm.PPtrSize)
+		acts = append(acts, leakAction{slot: s, free: !shared})
+	}
+	return acts
+}
+
+// applyLeaks performs the repairs in slot order, matching the write sequence
+// the pre-split reclaimLeaks emitted (a reset is a durable pointer null, a
+// free goes through the slot's pointer cell, which also nulls it).
+func (c *varCodec) applyLeaks(leaf uint64, acts []leakAction) {
+	for _, a := range acts {
+		if a.free {
+			c.pool.Free(c.lay.pkeyOff(leaf, a.slot), c.slotKLen(leaf, a.slot))
 		} else {
-			c.pool.Free(c.lay.pkeyOff(leaf, s), c.slotKLen(leaf, s))
+			c.pool.WritePPtr(c.lay.pkeyOff(leaf, a.slot), scm.PPtr{})
+			c.pool.Persist(c.lay.pkeyOff(leaf, a.slot), scm.PPtrSize)
 		}
 	}
+}
+
+// scanLeaf reads the leaf image once, chases each valid slot's key pointer
+// for the max-key comparison (the pointer dereferences are the latency that
+// parallel recovery overlaps), and runs the scanLeaks detection on the
+// buffered slot pointers.
+func (c *varCodec) scanLeaf(leaf uint64) ([]byte, int, []leakAction) {
+	buf := c.pool.ReadBytes(leaf, c.lay.size)
+	bm := binary.LittleEndian.Uint64(buf[c.lay.offBitmap:])
+	pk := func(s int) scm.PPtr {
+		off := c.lay.pkeyOff(0, s)
+		return scm.PPtr{
+			ArenaID: binary.LittleEndian.Uint64(buf[off:]),
+			Offset:  binary.LittleEndian.Uint64(buf[off+8:]),
+		}
+	}
+	klen := func(s int) uint64 {
+		return binary.LittleEndian.Uint64(buf[c.lay.klenOff(0, s):])
+	}
+	var maxK []byte
+	n := 0
+	var acts []leakAction
+	for s := 0; s < c.lay.cap; s++ {
+		if bm&(1<<s) != 0 {
+			k := c.pool.ReadBytes(pk(s).Offset, klen(s))
+			n++
+			if n == 1 || bytes.Compare(maxK, k) < 0 {
+				maxK = k
+			}
+			continue
+		}
+		p := pk(s)
+		if p.IsNull() {
+			continue
+		}
+		shared := false
+		for v := 0; v < c.lay.cap; v++ {
+			if bm&(1<<v) != 0 && pk(v) == p {
+				shared = true
+				break
+			}
+		}
+		acts = append(acts, leakAction{slot: s, free: !shared})
+	}
+	return maxK, n, acts
 }
 
 func (c *varCodec) checkInvalidSlot(leaf uint64, s int) error {

@@ -35,31 +35,31 @@ type concurrency interface {
 // try-acquire succeeds, so the engine's optimistic loops run exactly once.
 type nopCC struct{}
 
-func (nopCC) concurrent() bool                           { return false }
-func (nopCC) readBegin(*htm.VersionLock) uint64          { return 0 }
-func (nopCC) validate(*htm.VersionLock, uint64) bool     { return true }
-func (nopCC) lockNode(*htm.VersionLock)                  {}
-func (nopCC) unlockNode(*htm.VersionLock)                {}
-func (nopCC) unlockNodeNoBump(*htm.VersionLock)          {}
-func (nopCC) tryRLockLeaf(*leafRef) bool                 { return true }
-func (nopCC) rUnlockLeaf(*leafRef)                       {}
-func (nopCC) tryLockLeaf(*leafRef) bool                  { return true }
-func (nopCC) lockLeaf(*leafRef)                          {}
-func (nopCC) unlockLeaf(*leafRef)                        {}
+func (nopCC) concurrent() bool                       { return false }
+func (nopCC) readBegin(*htm.VersionLock) uint64      { return 0 }
+func (nopCC) validate(*htm.VersionLock, uint64) bool { return true }
+func (nopCC) lockNode(*htm.VersionLock)              {}
+func (nopCC) unlockNode(*htm.VersionLock)            {}
+func (nopCC) unlockNodeNoBump(*htm.VersionLock)      {}
+func (nopCC) tryRLockLeaf(*leafRef) bool             { return true }
+func (nopCC) rUnlockLeaf(*leafRef)                   {}
+func (nopCC) tryLockLeaf(*leafRef) bool              { return true }
+func (nopCC) lockLeaf(*leafRef)                      {}
+func (nopCC) unlockLeaf(*leafRef)                    {}
 
 // occCC is the concurrent controller: speculative validated descent over
 // per-node version locks plus fine-grained leaf spinlocks, the software
 // analogue of the paper's HTM sections with fallback.
 type occCC struct{}
 
-func (occCC) concurrent() bool                          { return true }
-func (occCC) readBegin(l *htm.VersionLock) uint64       { return l.ReadBegin() }
+func (occCC) concurrent() bool                           { return true }
+func (occCC) readBegin(l *htm.VersionLock) uint64        { return l.ReadBegin() }
 func (occCC) validate(l *htm.VersionLock, v uint64) bool { return l.ReadValidate(v) }
-func (occCC) lockNode(l *htm.VersionLock)               { l.Lock() }
-func (occCC) unlockNode(l *htm.VersionLock)             { l.Unlock() }
-func (occCC) unlockNodeNoBump(l *htm.VersionLock)       { l.UnlockNoBump() }
-func (occCC) tryRLockLeaf(r *leafRef) bool              { return r.lk.TryRLock() }
-func (occCC) rUnlockLeaf(r *leafRef)                    { r.lk.RUnlock() }
-func (occCC) tryLockLeaf(r *leafRef) bool               { return r.lk.TryLock() }
-func (occCC) lockLeaf(r *leafRef)                       { r.lk.Lock() }
-func (occCC) unlockLeaf(r *leafRef)                     { r.lk.Unlock() }
+func (occCC) lockNode(l *htm.VersionLock)                { l.Lock() }
+func (occCC) unlockNode(l *htm.VersionLock)              { l.Unlock() }
+func (occCC) unlockNodeNoBump(l *htm.VersionLock)        { l.UnlockNoBump() }
+func (occCC) tryRLockLeaf(r *leafRef) bool               { return r.lk.TryRLock() }
+func (occCC) rUnlockLeaf(r *leafRef)                     { r.lk.RUnlock() }
+func (occCC) tryLockLeaf(r *leafRef) bool                { return r.lk.TryLock() }
+func (occCC) lockLeaf(r *leafRef)                        { r.lk.Lock() }
+func (occCC) unlockLeaf(r *leafRef)                      { r.lk.Unlock() }

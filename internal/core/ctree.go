@@ -33,9 +33,10 @@ func CCreate(pool *scm.Pool, cfg Config) (*CTree, error) {
 // COpen recovers a concurrent FPTree: the allocator intent and every
 // micro-log in the split and delete arrays are replayed, then the inner
 // nodes are rebuilt from the leaf list and all leaf locks are reset (fresh
-// handles), per Algorithm 9.
-func COpen(pool *scm.Pool) (*CTree, error) {
-	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, occCC{})
+// handles), per Algorithm 9. An optional RecoveryOptions parallelizes the
+// leaf scan.
+func COpen(pool *scm.Pool, opts ...RecoveryOptions) (*CTree, error) {
+	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, occCC{}, recoveryOpts(opts))
 	if err != nil {
 		return nil, err
 	}

@@ -22,9 +22,10 @@ func CCreateVar(pool *scm.Pool, cfg Config) (*CVarTree, error) {
 }
 
 // COpenVar recovers a concurrent variable-size-key FPTree (Algorithm 9 plus
-// the Algorithm 17 leak scan).
-func COpenVar(pool *scm.Pool) (*CVarTree, error) {
-	e, err := openEngine(pool, keyKindVar, varCodecOf, occCC{})
+// the Algorithm 17 leak scan). An optional RecoveryOptions parallelizes the
+// leaf scan.
+func COpenVar(pool *scm.Pool, opts ...RecoveryOptions) (*CVarTree, error) {
+	e, err := openEngine(pool, keyKindVar, varCodecOf, occCC{}, recoveryOpts(opts))
 	if err != nil {
 		return nil, err
 	}

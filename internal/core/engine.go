@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"fptree/internal/htm"
 	"fptree/internal/obs"
@@ -42,6 +43,7 @@ type engine[K, V any] struct {
 
 	groups     groupAlloc // leaf-group management (single-threaded only)
 	recovering bool       // true while micro-logs are being replayed
+	recWorkers int        // leaf-scan goroutines during recovery (>= 1)
 
 	// Probes tracks in-leaf search work for the Figure 4 experiment. The
 	// fields are plain integers and only maintained by the single-threaded
@@ -58,7 +60,7 @@ type engine[K, V any] struct {
 }
 
 func newEngine[K, V any](pool *scm.Pool, cfg Config, m meta, cdc codec[K, V], cc concurrency) *engine[K, V] {
-	e := &engine[K, V]{pool: pool, cfg: cfg, m: m, cdc: cdc, cc: cc, st: !cc.concurrent(), sh: cdc.shape()}
+	e := &engine[K, V]{pool: pool, cfg: cfg, m: m, cdc: cdc, cc: cc, st: !cc.concurrent(), sh: cdc.shape(), recWorkers: 1}
 	e.groups.init(pool, m, e.sh.size, cfg.GroupSize)
 	e.splitQ = make(chan int, cfg.NumLogs)
 	e.deleteQ = make(chan int, cfg.NumLogs)
@@ -106,8 +108,9 @@ func createEngine[K, V any](pool *scm.Pool, cfg Config, kind uint64, mk func(*sc
 // it replays the allocator intent and every micro-log, runs the codec's leak
 // scan, then rebuilds the DRAM-resident inner nodes and the volatile
 // free-leaf vector (Algorithm 9). Leaf locks are "reset" by building fresh
-// handles.
-func openEngine[K, V any](pool *scm.Pool, kind uint64, mk func(*scm.Pool, Config) codec[K, V], cc concurrency) (*engine[K, V], error) {
+// handles. rec selects the sequential or parallel leaf scan; either way the
+// recovered arena is byte-identical (see RecoveryOptions).
+func openEngine[K, V any](pool *scm.Pool, kind uint64, mk func(*scm.Pool, Config) codec[K, V], cc concurrency, rec RecoveryOptions) (*engine[K, V], error) {
 	pool.Recover()
 	m, cfg, err := openMeta(pool, kind)
 	if err != nil {
@@ -120,6 +123,7 @@ func openEngine[K, V any](pool *scm.Pool, kind uint64, mk func(*scm.Pool, Config
 		return nil, err
 	}
 	e := newEngine(pool, cfg, m, mk(pool, cfg), cc)
+	e.recWorkers = rec.workers()
 	e.recovering = true
 	for i := 0; i < cfg.NumLogs; i++ {
 		e.recoverSplit(m.splitLog(i))
@@ -1125,13 +1129,31 @@ func (e *engine[K, V]) recoverDelete(log mlog) {
 // rebuild reconstructs the DRAM inner nodes by walking the persistent leaf
 // list (Algorithm 9, RebuildInnerNodes). Leaves emptied by an interrupted
 // delete are unlinked on the way — a crash can leave an empty leaf in the
-// list, and separators for empty leaves would be meaningless.
+// list, and separators for empty leaves would be meaningless. With more than
+// one recovery worker the leaf scan is parallelized (recovery.go); the
+// durable repairs are sequential in either mode, so both produce the same
+// arena bytes.
 func (e *engine[K, V]) rebuild() {
-	leaves, maxKeys, size := e.collectLeaves()
+	start := time.Now()
+	var leaves []uint64
+	var maxKeys []K
+	var size int
+	if e.recWorkers > 1 {
+		leaves, maxKeys, size = e.collectLeavesParallel(e.recWorkers)
+	} else {
+		leaves, maxKeys, size = e.collectLeaves()
+	}
 	e.size.Store(int64(size))
-	e.root.Store(buildInner(leaves, maxKeys, e.maxKids()))
+	e.root.Store(buildInnerW(leaves, maxKeys, e.maxKids(), e.recWorkers))
 	e.groups.rebuildFreeVector(leaves)
+	e.sanitizeFreeLeaves()
+	if e.groups.enabled() {
+		for p := e.m.headGroup(); !p.IsNull(); p = e.groups.groupNext(p.Offset) {
+			e.Ops.RecoveryGroups.Add(1)
+		}
+	}
 	e.Ops.InnerRebuilds.Add(1)
+	e.Ops.RecoveryNanos.Store(uint64(time.Since(start).Nanoseconds()))
 }
 
 // collectLeaves walks the persistent leaf list, running the codec's leak
@@ -1143,8 +1165,9 @@ func (e *engine[K, V]) collectLeaves() (leaves []uint64, maxKeys []K, size int) 
 	for p := e.m.headLeaf(); !p.IsNull(); {
 		leaf := p.Offset
 		next := e.leafNext(leaf)
-		e.cdc.reclaimLeaks(leaf)
-		mk, n := e.leafMaxKey(leaf)
+		e.Ops.RecoveryLeaves.Add(1)
+		mk, n, leaks := e.cdc.scanLeaf(leaf)
+		e.cdc.applyLeaks(leaf, leaks)
 		if n == 0 {
 			e.unlinkLeaf(leaf, prev, nil)
 			p = next
@@ -1157,6 +1180,34 @@ func (e *engine[K, V]) collectLeaves() (leaves []uint64, maxKeys []K, size int) 
 		p = next
 	}
 	return leaves, maxKeys, size
+}
+
+// reclaimLeaf runs the codec's Algorithm 17 leak scan on one leaf and
+// applies the repairs immediately (the sequential recovery shape; the
+// parallel path scans up front and applies later, in the same order).
+func (e *engine[K, V]) reclaimLeaf(leaf uint64) {
+	e.cdc.applyLeaks(leaf, e.cdc.scanLeaks(leaf))
+}
+
+// sanitizeFreeLeaves restores, at the end of recovery, the invariant that a
+// group leaf not reachable from the leaf list has a zero durable bitmap and
+// owns no key blocks. A crash can break it in exactly one spot: bulk load
+// fills a carved leaf (var keys: durably publishing key-block pointers into
+// its slots) before linking it. Without the sweep, the free vector would
+// hand that leaf back to firstLeaf, whose stale nonzero bitmap would
+// resurrect the dead keys. The free vector is rebuilt in deterministic
+// group-walk order, so the sweep issues the same durable writes regardless
+// of the recovery worker count.
+func (e *engine[K, V]) sanitizeFreeLeaves() {
+	if !e.groups.enabled() {
+		return
+	}
+	for _, leaf := range e.groups.free {
+		if e.leafBitmap(leaf) != 0 {
+			e.persistLeafHeader(leaf, 0)
+		}
+		e.reclaimLeaf(leaf)
+	}
 }
 
 // leafMaxKey returns the greatest valid key in the leaf and the number of
@@ -1183,60 +1234,10 @@ func (e *engine[K, V]) leafMaxKey(leaf uint64) (K, int) {
 // nodes to at most ~90% so the first inserts do not immediately split every
 // node. (The forks disagreed: the single-threaded builder packed nodes full.
 // 90% wins — full nodes made every post-recovery insert path split first.)
+// It is the sequential form of buildInnerW (recovery.go), which can fill the
+// leaf-parent level with several workers.
 func buildInner[K any](leaves []uint64, maxKeys []K, maxKids int) *cInner[K] {
-	width := maxKids * 9 / 10
-	if width < 2 {
-		width = 2
-	}
-	if len(leaves) == 0 {
-		return newCInner[K](maxKids, true)
-	}
-	var level []*cInner[K]
-	var seps []K
-	for at := 0; at < len(leaves); at += width {
-		end := at + width
-		if end > len(leaves) {
-			end = len(leaves)
-		}
-		n := newCInner[K](maxKids, true)
-		for i := at; i < end; i++ {
-			n.leaves[i-at].Store(&leafRef{off: leaves[i]})
-			if i < end-1 {
-				k := maxKeys[i]
-				n.keys[i-at].Store(&k)
-			}
-		}
-		n.cnt.Store(int32(end - at))
-		level = append(level, n)
-		if end < len(leaves) {
-			seps = append(seps, maxKeys[end-1])
-		}
-	}
-	for len(level) > 1 {
-		var next []*cInner[K]
-		var nextSeps []K
-		for at := 0; at < len(level); at += width {
-			end := at + width
-			if end > len(level) {
-				end = len(level)
-			}
-			n := newCInner[K](maxKids, false)
-			for i := at; i < end; i++ {
-				n.kids[i-at].Store(level[i])
-				if i < end-1 {
-					k := seps[i]
-					n.keys[i-at].Store(&k)
-				}
-			}
-			n.cnt.Store(int32(end - at))
-			next = append(next, n)
-			if end < len(level) {
-				nextSeps = append(nextSeps, seps[end-1])
-			}
-		}
-		level, seps = next, nextSeps
-	}
-	return level[0]
+	return buildInnerW(leaves, maxKeys, maxKids, 1)
 }
 
 // --- introspection ------------------------------------------------------------
@@ -1313,6 +1314,31 @@ func (e *engine[K, V]) CheckInvariants() error {
 			k := e.cdc.slotKey(leaf, s)
 			if ref := e.findLeafRef(k); ref == nil || ref.off != leaf {
 				return fmt.Errorf("key %v lives in leaf %#x but descent misses it", k, leaf)
+			}
+		}
+	}
+	// A group leaf not linked in the leaf list must look freshly recycled:
+	// zero durable bitmap (otherwise a reuse through firstLeaf would
+	// resurrect its stale slots) and, for the var codec, no owned key blocks.
+	// Both codecs share the check; recovery's free-leaf sweep enforces it.
+	if e.groups.enabled() {
+		linked := make(map[uint64]bool)
+		for p := e.m.headLeaf(); !p.IsNull(); p = e.leafNext(p.Offset) {
+			linked[p.Offset] = true
+		}
+		for p := e.m.headGroup(); !p.IsNull(); p = e.groups.groupNext(p.Offset) {
+			for _, leaf := range e.groups.leafOffsets(p.Offset) {
+				if linked[leaf] {
+					continue
+				}
+				if bm := e.leafBitmap(leaf); bm != 0 {
+					return fmt.Errorf("leaf %#x: unreachable group leaf has nonzero bitmap %#x", leaf, bm)
+				}
+				for s := 0; s < e.sh.cap; s++ {
+					if err := e.cdc.checkInvalidSlot(leaf, s); err != nil {
+						return err
+					}
+				}
 			}
 		}
 	}

@@ -1,10 +1,25 @@
 // Package core implements the Fingerprinting Persistent Tree (FPTree) of
 // Oukid et al., SIGMOD 2016: a hybrid SCM-DRAM B+-Tree whose leaf nodes live
 // in (emulated) SCM and whose inner nodes live in DRAM and are rebuilt on
-// recovery. The package contains the four variants evaluated in the paper:
-// the single-threaded fixed-key FPTree (with amortized leaf-group
-// allocations), the concurrent fixed-key FPTree (Selective Concurrency), and
-// the variable-size-key versions of both.
+// recovery.
+//
+// The paper evaluates four tree variants — the single-threaded fixed-key
+// FPTree (with amortized leaf-group allocations), the concurrent fixed-key
+// FPTree (Selective Concurrency), and the variable-size-key versions of both.
+// Here all four are one generic engine (engine.go) parameterized along two
+// axes: a key codec (codec.go — fixed 8-byte keys inline in the leaf, or
+// variable-size keys behind persistent key-block pointers per Appendix C)
+// and a concurrency controller (concurrency.go — single-threaded, or
+// version-lock optimistic descent with fine-grained leaf locks). The
+// exported types Tree, CTree, VarTree and CVarTree (tree.go, ctree.go,
+// tree_var.go, cvar.go) are thin facades instantiating those axes.
+//
+// Recovery (Open/COpen/OpenVar/COpenVar) replays the allocator intent and
+// the split/delete micro-logs, then rebuilds the DRAM inner nodes from a
+// scan of the persistent leaves; RecoveryOptions (recovery.go) parallelizes
+// that scan across goroutines while keeping the recovered arena
+// byte-identical to sequential recovery. See RECOVERY.md at the repository
+// root for the pipeline end to end.
 //
 // All persistent state is kept inside an scm.Pool and accessed through
 // explicit offset codecs, so layouts are exactly the paper's and the Go

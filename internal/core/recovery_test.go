@@ -1,0 +1,449 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"fptree/internal/scm"
+)
+
+// runWithCrash executes fn with the flush fail-point armed at failAt,
+// swallows the injected crash if it fires, and reverts unflushed lines so
+// the pool holds exactly the durable crash image.
+func runWithCrash(t *testing.T, pool *scm.Pool, failAt int64, fn func()) {
+	t.Helper()
+	pool.FailAfterFlushes(failAt)
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != scm.ErrInjectedCrash {
+				panic(r)
+			}
+		}()
+		fn()
+	}()
+	pool.FailAfterFlushes(-1)
+	pool.Crash()
+}
+
+// durableImage snapshots the pool's durable view.
+func durableImage(t *testing.T, pool *scm.Pool) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "img")
+	if err := pool.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// leafListOffsets walks the persistent leaf list and returns the offsets in
+// list order.
+func leafListOffsets[K any, V any](e *engine[K, V]) []uint64 {
+	var offs []uint64
+	for p := e.m.headLeaf(); !p.IsNull(); p = e.leafNext(p.Offset) {
+		offs = append(offs, p.Offset)
+	}
+	return offs
+}
+
+// checkRecoveredEqual asserts that two recoveries of the same crash image —
+// sequential on the original pool, parallel on a clone — produced identical
+// trees: same logical contents, same leaf list, and byte-identical durable
+// arenas (recovery's repair writes must not depend on the worker count).
+func checkRecoveredEqual[K any, V any](t *testing.T, seq, par *engine[K, V]) {
+	t.Helper()
+	if err := seq.CheckInvariants(); err != nil {
+		t.Fatalf("sequential recovery invariants: %v", err)
+	}
+	if err := par.CheckInvariants(); err != nil {
+		t.Fatalf("parallel recovery invariants: %v", err)
+	}
+	if seq.Len() != par.Len() {
+		t.Fatalf("Len: sequential %d, parallel %d", seq.Len(), par.Len())
+	}
+	so, po := leafListOffsets(seq), leafListOffsets(par)
+	if len(so) != len(po) {
+		t.Fatalf("leaf list length: sequential %d, parallel %d", len(so), len(po))
+	}
+	for i := range so {
+		if so[i] != po[i] {
+			t.Fatalf("leaf list[%d]: sequential %#x, parallel %#x", i, so[i], po[i])
+		}
+	}
+	if !bytes.Equal(durableImage(t, seq.pool), durableImage(t, par.pool)) {
+		t.Fatal("durable arenas differ after recovery")
+	}
+}
+
+func scanAllFixed(e *engine[uint64, uint64]) []KV {
+	var out []KV
+	e.scan(0, func(k, v uint64) bool {
+		out = append(out, KV{k, v})
+		return true
+	})
+	return out
+}
+
+func scanAllVar(e *engine[[]byte, []byte]) []VarKV {
+	var out []VarKV
+	e.scan(nil, func(k, v []byte) bool {
+		out = append(out, VarKV{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	})
+	return out
+}
+
+// fixedCrashTrace drives a mixed insert/update/delete workload against a
+// fresh fixed-key tree until the armed crash fires (or the trace completes),
+// and leaves the pool holding the crash image.
+func fixedCrashTrace(t *testing.T, pool *scm.Pool, cfg Config, concurrent bool, seed, failAt int64) {
+	t.Helper()
+	var (
+		tr  engineOpsFixed
+		err error
+	)
+	if concurrent {
+		tr, err = CCreate(pool, cfg)
+	} else {
+		tr, err = Create(pool, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	runWithCrash(t, pool, failAt, func() {
+		for i := 0; i < 1200; i++ {
+			k := uint64(rng.Intn(300)) + 1
+			switch rng.Intn(4) {
+			case 0:
+				tr.Delete(k) //nolint:errcheck
+			case 1:
+				tr.Update(k, k*3) //nolint:errcheck
+			default:
+				tr.Upsert(k, k*7) //nolint:errcheck
+			}
+		}
+	})
+}
+
+// engineOpsFixed is the op surface shared by Tree and CTree. The trace uses
+// Upsert, not Insert: Insert is the paper's Algorithm 2, which assumes the
+// key is absent.
+type engineOpsFixed interface {
+	Upsert(k, v uint64) error
+	Update(k, v uint64) (bool, error)
+	Delete(k uint64) (bool, error)
+}
+
+func varCrashTrace(t *testing.T, pool *scm.Pool, cfg Config, concurrent bool, seed, failAt int64) {
+	t.Helper()
+	var (
+		tr  engineOpsVar
+		err error
+	)
+	if concurrent {
+		tr, err = CCreateVar(pool, cfg)
+	} else {
+		tr, err = CreateVar(pool, cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	runWithCrash(t, pool, failAt, func() {
+		for i := 0; i < 1000; i++ {
+			k := []byte(fmt.Sprintf("key-%04d", rng.Intn(250)))
+			v := []byte(fmt.Sprintf("val-%04d", rng.Intn(1000)))
+			switch rng.Intn(4) {
+			case 0:
+				tr.Delete(k) //nolint:errcheck
+			case 1:
+				tr.Update(k, v) //nolint:errcheck
+			default:
+				tr.Upsert(k, v) //nolint:errcheck
+			}
+		}
+	})
+}
+
+type engineOpsVar interface {
+	Upsert(k, v []byte) error
+	Update(k, v []byte) (bool, error)
+	Delete(k []byte) (bool, error)
+}
+
+// The fail points sampled per variant: early (mid first splits), middle, and
+// late (usually past the end of the trace, i.e. a clean shutdown image).
+var recoveryFailPoints = []int64{7, 61, 257, 1031, 1 << 30}
+
+// TestParallelRecoveryEquivalenceFixed proves that recovering the same crash
+// image with Workers=1 and Workers=3 yields identical fixed-key trees —
+// logically and byte-for-byte in the durable arena.
+func TestParallelRecoveryEquivalenceFixed(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		concurrent bool
+	}{
+		{"groups4", Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4}, false},
+		{"nogroups", Config{LeafCap: 8, InnerFanout: 4}, false},
+		{"concurrent", Config{LeafCap: 8, InnerFanout: 4}, true},
+	}
+	for _, tc := range cases {
+		for _, failAt := range recoveryFailPoints {
+			t.Run(fmt.Sprintf("%s/fail%d", tc.name, failAt), func(t *testing.T) {
+				pool := newPool(64)
+				fixedCrashTrace(t, pool, tc.cfg, tc.concurrent, 42, failAt)
+				clone := pool.Clone()
+
+				var seq, par *engine[uint64, uint64]
+				if tc.concurrent {
+					s, err := COpen(pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := COpen(clone, RecoveryOptions{Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					seq, par = s.engine, p.engine
+				} else {
+					s, err := Open(pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := Open(clone, RecoveryOptions{Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					seq, par = s.engine, p.engine
+				}
+				checkRecoveredEqual(t, seq, par)
+				sKV, pKV := scanAllFixed(seq), scanAllFixed(par)
+				if len(sKV) != len(pKV) {
+					t.Fatalf("scan: sequential %d pairs, parallel %d", len(sKV), len(pKV))
+				}
+				for i := range sKV {
+					if sKV[i] != pKV[i] {
+						t.Fatalf("scan[%d]: sequential %v, parallel %v", i, sKV[i], pKV[i])
+					}
+				}
+				if par.Ops.RecoveryNanos.Load() == 0 {
+					t.Fatal("RecoveryNanos not recorded")
+				}
+				if len(sKV) > 0 && par.Ops.RecoveryLeaves.Load() == 0 {
+					t.Fatal("RecoveryLeaves not counted")
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRecoveryEquivalenceVar is the variable-size-key version, which
+// additionally exercises the Algorithm 17 leak scan: the parallel path must
+// detect leaks concurrently but reclaim them in the same order as the
+// sequential path.
+func TestParallelRecoveryEquivalenceVar(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		concurrent bool
+	}{
+		{"groups4", Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4}, false},
+		{"nogroups", Config{LeafCap: 8, InnerFanout: 4}, false},
+		{"concurrent", Config{LeafCap: 8, InnerFanout: 4}, true},
+	}
+	for _, tc := range cases {
+		for _, failAt := range recoveryFailPoints {
+			t.Run(fmt.Sprintf("%s/fail%d", tc.name, failAt), func(t *testing.T) {
+				pool := newPool(64)
+				varCrashTrace(t, pool, tc.cfg, tc.concurrent, 43, failAt)
+				clone := pool.Clone()
+
+				var seq, par *engine[[]byte, []byte]
+				if tc.concurrent {
+					s, err := COpenVar(pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := COpenVar(clone, RecoveryOptions{Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					seq, par = s.engine, p.engine
+				} else {
+					s, err := OpenVar(pool)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := OpenVar(clone, RecoveryOptions{Workers: 3})
+					if err != nil {
+						t.Fatal(err)
+					}
+					seq, par = s.engine, p.engine
+				}
+				checkRecoveredEqual(t, seq, par)
+				sKV, pKV := scanAllVar(seq), scanAllVar(par)
+				if len(sKV) != len(pKV) {
+					t.Fatalf("scan: sequential %d pairs, parallel %d", len(sKV), len(pKV))
+				}
+				for i := range sKV {
+					if !bytes.Equal(sKV[i].Key, pKV[i].Key) || !bytes.Equal(sKV[i].Value, pKV[i].Value) {
+						t.Fatalf("scan[%d]: sequential %q=%q, parallel %q=%q",
+							i, sKV[i].Key, sKV[i].Value, pKV[i].Key, pKV[i].Value)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRecoveryWorkerCounts recovers one image at several worker
+// counts (including more workers than leaves) and checks they all agree with
+// the sequential result.
+func TestParallelRecoveryWorkerCounts(t *testing.T) {
+	pool := newPool(64)
+	fixedCrashTrace(t, pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4}, false, 7, 509)
+	ref, err := Open(pool.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scanAllFixed(ref.engine)
+	refImg := durableImage(t, ref.pool)
+	for _, w := range []int{0, 1, 2, 4, 64} {
+		tr, err := Open(pool.Clone(), RecoveryOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := scanAllFixed(tr.engine)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: scan[%d] = %v, want %v", w, i, got[i], want[i])
+			}
+		}
+		if !bytes.Equal(durableImage(t, tr.pool), refImg) {
+			t.Fatalf("workers=%d: durable arena differs from sequential recovery", w)
+		}
+	}
+}
+
+// TestBulkLoadCrashRecoveryBothCodecs sweeps crash points through a bulk
+// load for both codecs and asserts that sequential and parallel recovery of
+// each image agree, the result is a strict prefix of the input, and the tree
+// stays writable. This pins the ordering fix: a leaf's validity bitmap is
+// committed only after the leaf is linked, so an unreachable leaf can never
+// resurrect dead keys through group-slot reuse.
+func TestBulkLoadCrashRecoveryBothCodecs(t *testing.T) {
+	const n = 300
+	failPoints := []int64{1, 2, 3, 5, 9, 17, 33, 65, 129, 257}
+
+	t.Run("fixed", func(t *testing.T) {
+		kvs := make([]KV, n)
+		for i := range kvs {
+			kvs[i] = KV{Key: uint64(i)*2 + 1, Value: uint64(i) * 7}
+		}
+		for _, failAt := range failPoints {
+			pool := newPool(64)
+			tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runWithCrash(t, pool, failAt, func() {
+				tr.BulkLoad(kvs, 0) //nolint:errcheck
+			})
+			clone := pool.Clone()
+			seq, err := Open(pool)
+			if err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+			par, err := Open(clone, RecoveryOptions{Workers: 3})
+			if err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+			checkRecoveredEqual(t, seq.engine, par.engine)
+			got := scanAllFixed(seq.engine)
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Key < got[j].Key }) {
+				t.Fatalf("fail%d: recovered scan not sorted", failAt)
+			}
+			for i, kv := range got {
+				if kv != kvs[i] {
+					t.Fatalf("fail%d: recovered[%d] = %v, want %v (not a prefix)", failAt, i, kv, kvs[i])
+				}
+			}
+			// The recovered tree keeps working: the rest of the load goes in
+			// one by one.
+			for _, kv := range kvs[len(got):] {
+				if err := seq.Insert(kv.Key, kv.Value); err != nil {
+					t.Fatalf("fail%d: insert after recovery: %v", failAt, err)
+				}
+			}
+			if seq.Len() != n {
+				t.Fatalf("fail%d: Len = %d after refill, want %d", failAt, seq.Len(), n)
+			}
+			if err := seq.CheckInvariants(); err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+		}
+	})
+
+	t.Run("var", func(t *testing.T) {
+		kvs := make([]VarKV, n)
+		for i := range kvs {
+			kvs[i] = VarKV{
+				Key:   []byte(fmt.Sprintf("key-%05d", i)),
+				Value: []byte(fmt.Sprintf("val-%04d", i)),
+			}
+		}
+		for _, failAt := range failPoints {
+			pool := newPool(64)
+			tr, err := CreateVar(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			runWithCrash(t, pool, failAt, func() {
+				tr.BulkLoad(kvs, 0) //nolint:errcheck
+			})
+			clone := pool.Clone()
+			seq, err := OpenVar(pool)
+			if err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+			par, err := OpenVar(clone, RecoveryOptions{Workers: 3})
+			if err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+			checkRecoveredEqual(t, seq.engine, par.engine)
+			got := scanAllVar(seq.engine)
+			for i, kv := range got {
+				if !bytes.Equal(kv.Key, kvs[i].Key) || !bytes.Equal(kv.Value, kvs[i].Value) {
+					t.Fatalf("fail%d: recovered[%d] = %q, want %q (not a prefix)", failAt, i, kv.Key, kvs[i].Key)
+				}
+			}
+			for _, kv := range kvs[len(got):] {
+				if err := seq.Insert(kv.Key, kv.Value); err != nil {
+					t.Fatalf("fail%d: insert after recovery: %v", failAt, err)
+				}
+			}
+			if seq.Len() != n {
+				t.Fatalf("fail%d: Len = %d after refill, want %d", failAt, seq.Len(), n)
+			}
+			if err := seq.CheckInvariants(); err != nil {
+				t.Fatalf("fail%d: %v", failAt, err)
+			}
+		}
+	})
+}

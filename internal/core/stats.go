@@ -27,6 +27,9 @@ type OpStats struct {
 	FPFalsePositives atomic.Uint64 // fingerprint matched, key differed
 	LeafSplits       atomic.Uint64 // completed leaf splits
 	InnerRebuilds    atomic.Uint64 // DRAM inner-node reconstructions (recovery)
+	RecoveryLeaves   atomic.Uint64 // persistent leaves scanned during recovery
+	RecoveryGroups   atomic.Uint64 // leaf groups walked during recovery
+	RecoveryNanos    atomic.Uint64 // wall-clock ns of the last inner rebuild
 }
 
 // noteSearch batches one search's local counts into the shared atomics: one
@@ -85,4 +88,12 @@ func (o *OpStats) RegisterMetrics(reg *obs.Registry, prefix string) {
 		"completed leaf splits", o.LeafSplits.Load)
 	reg.CounterFunc(prefix+"_inner_rebuilds_total",
 		"DRAM inner-node reconstructions during recovery", o.InnerRebuilds.Load)
+	reg.CounterFunc(prefix+"_recovery_leaves_scanned_total",
+		"persistent leaves scanned while rebuilding inner nodes", o.RecoveryLeaves.Load)
+	reg.CounterFunc(prefix+"_recovery_groups_total",
+		"leaf groups walked while rebuilding inner nodes", o.RecoveryGroups.Load)
+	reg.GaugeFunc(prefix+"_recovery_rebuild_seconds",
+		"wall-clock duration of the last inner-node rebuild", func() float64 {
+			return float64(o.RecoveryNanos.Load()) / 1e9
+		})
 }

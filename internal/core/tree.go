@@ -44,9 +44,10 @@ func Create(pool *scm.Pool, cfg Config) (*Tree, error) {
 // Open recovers a single-threaded FPTree from a pool that survived a crash
 // or restart: it replays the allocator intent and all micro-logs, then
 // rebuilds the DRAM-resident inner nodes and the volatile free-leaf vector
-// (Algorithm 9).
-func Open(pool *scm.Pool) (*Tree, error) {
-	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, nopCC{})
+// (Algorithm 9). An optional RecoveryOptions parallelizes the leaf scan; the
+// recovered tree and arena are identical for every worker count.
+func Open(pool *scm.Pool, opts ...RecoveryOptions) (*Tree, error) {
+	e, err := openEngine(pool, keyKindFixed, fixedCodecOf, nopCC{}, recoveryOpts(opts))
 	if err != nil {
 		return nil, err
 	}

@@ -34,9 +34,10 @@ func CreateVar(pool *scm.Pool, cfg Config) (*VarTree, error) {
 }
 
 // OpenVar recovers a variable-size-key FPTree: allocator intent, micro-logs,
-// the Algorithm 17 leak scan, then the inner-node rebuild.
-func OpenVar(pool *scm.Pool) (*VarTree, error) {
-	e, err := openEngine(pool, keyKindVar, varCodecOf, nopCC{})
+// the Algorithm 17 leak scan, then the inner-node rebuild. An optional
+// RecoveryOptions parallelizes the leaf scan.
+func OpenVar(pool *scm.Pool, opts ...RecoveryOptions) (*VarTree, error) {
+	e, err := openEngine(pool, keyKindVar, varCodecOf, nopCC{}, recoveryOpts(opts))
 	if err != nil {
 		return nil, err
 	}

@@ -31,6 +31,10 @@ type Pool struct {
 
 	alloc allocState // persistent allocator bookkeeping (volatile part)
 
+	// latDebt is the accumulated un-slept media latency in LatencySleep mode,
+	// in nanoseconds; see LatencySleep for the batching contract.
+	latDebt atomic.Int64
+
 	// failFlushes < 0 disables injection; otherwise it is decremented on each
 	// Persist and the crash fires when it reaches zero. failFences is the
 	// same fail-point at fence granularity: it counts explicit Fence calls
@@ -112,8 +116,8 @@ func (p *Pool) onAccess(off, size uint64, write bool) {
 	for l := first; l <= last; l++ {
 		if p.cache.touch(l * LineSize) {
 			p.stats.ReadMisses.Add(1)
-			if p.cfg.Mode == LatencySpin {
-				spin(p.cfg.ReadLatency)
+			if p.cfg.Mode != LatencyCount {
+				p.charge(p.cfg.ReadLatency)
 			}
 		} else {
 			p.stats.ReadHits.Add(1)
@@ -274,8 +278,27 @@ func (p *Pool) flushLine(l uint64) {
 	word.And(^mask)
 	p.cache.evict(off)
 	p.stats.Flushes.Add(1)
+	if p.cfg.Mode != LatencyCount {
+		p.charge(p.cfg.WriteLatency)
+	}
+}
+
+// charge makes the caller pay d of emulated media latency according to the
+// configured mode: a precise busy-wait (LatencySpin) or a contribution to
+// the pool's shared sleep debt (LatencySleep), materialized in batches of
+// latencyBatch so concurrent accessors' waits overlap in wall-clock time.
+func (p *Pool) charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
 	if p.cfg.Mode == LatencySpin {
-		spin(p.cfg.WriteLatency)
+		spin(d)
+		return
+	}
+	if n := p.latDebt.Add(int64(d)); n >= int64(latencyBatch) {
+		if owed := p.latDebt.Swap(0); owed > 0 {
+			time.Sleep(time.Duration(owed))
+		}
 	}
 }
 
@@ -386,6 +409,31 @@ func (p *Pool) CrashTorn(rng *rand.Rand) {
 	}
 	p.cache.reset()
 	p.crashed.Store(false)
+}
+
+// Clone returns an independent deep copy of the arena: cache and durable
+// views, the dirty-line bitmap, and allocator bookkeeping. The simulated CPU
+// cache starts cold (as after a restart) and crash-injection fail points are
+// disarmed. Like Crash and Save it requires quiescence. Crash tests use it
+// to recover the same crash image several ways — e.g. sequentially on the
+// original and in parallel on the clone — and compare the results.
+func (p *Pool) Clone() *Pool {
+	q := &Pool{
+		id:      p.id,
+		cfg:     p.cfg,
+		mem:     append([]byte(nil), p.mem...),
+		durable: append([]byte(nil), p.durable...),
+		dirty:   make([]atomic.Uint64, len(p.dirty)),
+		cache:   newCacheSim(p.cfg.CacheBytes),
+	}
+	for i := range p.dirty {
+		q.dirty[i].Store(p.dirty[i].Load())
+	}
+	q.alloc.largeFrees = p.alloc.largeFrees
+	q.crashed.Store(p.crashed.Load())
+	q.failFlushes.Store(-1)
+	q.failFences.Store(-1)
+	return q
 }
 
 // --- file backing ---------------------------------------------------------

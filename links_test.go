@@ -1,0 +1,94 @@
+package fptree
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinks walks every *.md file in the repository and checks that
+// relative link targets exist. External URLs are not fetched (CI must not
+// depend on the network); only file-path targets are verified. CI's docs job
+// runs this test on every push so documentation reorganizations cannot leave
+// dangling references behind.
+func TestMarkdownLinks(t *testing.T) {
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mdFiles []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, _ := filepath.Rel(root, md)
+		for _, target := range extractLinkTargets(linkRe, string(data)) {
+			if !linkTargetExists(filepath.Dir(md), target) {
+				t.Errorf("%s: broken link target %q", rel, target)
+			}
+		}
+	}
+}
+
+// extractLinkTargets returns the link destinations of every markdown inline
+// link outside fenced code blocks.
+func extractLinkTargets(linkRe *regexp.Regexp, doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}
+
+// linkTargetExists reports whether a markdown link destination resolves:
+// external and intra-document links are accepted as-is, relative paths must
+// name an existing file or directory.
+func linkTargetExists(dir, target string) bool {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return true
+	}
+	if strings.HasPrefix(target, "#") {
+		return true // intra-document anchor
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	_, err := os.Stat(filepath.Join(dir, target))
+	return err == nil
+}
