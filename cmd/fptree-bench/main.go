@@ -23,7 +23,10 @@
 // the recovery section of EXPERIMENTS.md): for each -recovery-keys size it
 // bulk loads a tree, simulates a restart, and times core.Open at each
 // -recovery-workers count under the emulated SCM latency. With -json the
-// measurements are written as the report's "recovery" records.
+// measurements are written as the report's "recovery" records. Adding
+// -recovery-file builds each tree in a real arena file and reopens the file
+// cold for every measurement, so each data point is a true process restart
+// (arena open, mmap, recovery scan) rather than an emulated Crash.
 //
 // -check-json <path> validates an existing -json document against the report
 // schema and exits; CI's recovery-smoke job runs it over fresh output.
@@ -68,6 +71,7 @@ func main() {
 		recWorkers = flag.String("recovery-workers", "1,2", "comma-separated recovery worker counts for -recovery")
 		recLatency = flag.Int("recovery-latency", 250, "emulated SCM latency in ns for -recovery")
 		recVar     = flag.Bool("recovery-var", false, "also measure the variable-size-key tree in -recovery")
+		recFile    = flag.Bool("recovery-file", false, "run -recovery over file-backed arenas: each measurement reopens a real arena file cold (true restart, including the mmap)")
 		checkJSON  = flag.String("check-json", "", "validate an existing -json report at this path and exit")
 	)
 	flag.Parse()
@@ -118,11 +122,12 @@ func main() {
 	}
 	if *recovery {
 		cfg := bench.RecoveryConfig{
-			Sizes:     parseIntList("recovery-keys", *recKeys),
-			Workers:   parseIntList("recovery-workers", *recWorkers),
-			LatencyNS: *recLatency,
-			Var:       *recVar,
-			JSONPath:  *jsonOut,
+			Sizes:      parseIntList("recovery-keys", *recKeys),
+			Workers:    parseIntList("recovery-workers", *recWorkers),
+			LatencyNS:  *recLatency,
+			Var:        *recVar,
+			JSONPath:   *jsonOut,
+			FileBacked: *recFile,
 		}
 		run("recovery", func() error { return bench.RecoveryBench(w, cfg) })
 	} else if *jsonOut != "" {

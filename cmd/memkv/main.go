@@ -7,6 +7,14 @@
 //
 //	memkv -addr 127.0.0.1:11211 -store fptreec -latency 85 -max-conns 1024
 //
+// With -data the SCM arena is a real file: the store survives process death,
+// including kill -9. On start the file is created if missing, otherwise the
+// tree in it is recovered (crash recovery runs unconditionally — it does not
+// depend on the previous process having shut down cleanly). On SIGINT/SIGTERM
+// shutdown the arena is synced and marked cleanly closed. Without -data the
+// arena lives in memory and all data is lost on exit. The hashmap store has
+// no persistent representation and rejects -data.
+//
 // With -metrics-addr the server also exposes an observability HTTP endpoint:
 // /metrics (Prometheus text exposition of the server, tree, HTM and SCM
 // counters), /debug/vars (expvar), /debug/pprof/ and /debug/events (recent
@@ -25,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"fptree/internal/core"
 	"fptree/internal/kvserver"
 	"fptree/internal/obs"
 	"fptree/internal/scm"
@@ -34,8 +43,12 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:11211", "listen address")
 		store        = flag.String("store", "fptreec", "fptreec | fptree | ptree | nvtreec | hashmap")
+		data         = flag.String("data", "", "arena file path; empty = in-memory arena (state lost on exit)")
 		latency      = flag.Int("latency", 0, "emulated SCM latency in ns (0 = off)")
-		poolMB       = flag.Int("pool", 512, "SCM arena size in MiB")
+		latencyMode  = flag.String("latency-mode", "spin", "how latency is charged: spin | sleep")
+		poolMB       = flag.Int("pool", 512, "SCM arena size in MiB (ignored when -data names an existing arena)")
+		syncEvery    = flag.Duration("sync", 0, "periodic arena sync interval for power-fail durability (0 = sync only on shutdown)")
+		recWorkers   = flag.Int("recovery-workers", 0, "parallel recovery leaf-scan workers (0 = sequential)")
 		readTimeout  = flag.Duration("read-timeout", 0, "per-command read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		maxConns     = flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
@@ -48,35 +61,92 @@ func main() {
 	lat := scm.LatencyConfig{}
 	if *latency > 0 {
 		lat = scm.LatencyConfig{
-			Mode:         scm.LatencySpin,
 			ReadLatency:  time.Duration(*latency) * time.Nanosecond,
 			WriteLatency: time.Duration(*latency) * time.Nanosecond,
 		}
+		switch *latencyMode {
+		case "spin":
+			lat.Mode = scm.LatencySpin
+		case "sleep":
+			lat.Mode = scm.LatencySleep
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -latency-mode %q (want spin or sleep)\n", *latencyMode)
+			os.Exit(2)
+		}
 	}
-	pool := scm.NewPool(int64(*poolMB)<<20, lat)
+
+	if *store == "hashmap" && *data != "" {
+		fmt.Fprintln(os.Stderr, "memkv: the hashmap store is transient and cannot use -data")
+		os.Exit(2)
+	}
 
 	var (
-		st  kvserver.Store
-		err error
+		pool      *scm.Pool
+		recovered bool
+		err       error
 	)
-	switch *store {
-	case "fptreec":
-		st, err = kvserver.NewFPTreeCStore(pool)
-	case "fptree":
-		st, err = kvserver.NewFPTreeStore(pool)
-	case "ptree":
-		st, err = kvserver.NewPTreeStore(pool)
-	case "nvtreec":
-		st, err = kvserver.NewNVTreeCStore(pool)
-	case "hashmap":
-		st = kvserver.NewHashMapStore()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
-		os.Exit(2)
+	if *data != "" {
+		pool, recovered, err = scm.OpenFile(*data, int64(*poolMB)<<20, lat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else if *store != "hashmap" {
+		pool = scm.NewPool(int64(*poolMB)<<20, lat)
+	}
+
+	var st kvserver.Store
+	if recovered && core.HasTree(pool) {
+		switch *store {
+		case "fptreec":
+			st, err = kvserver.OpenFPTreeCStore(pool, *recWorkers)
+		case "fptree":
+			st, err = kvserver.OpenFPTreeStore(pool, *recWorkers)
+		case "ptree":
+			st, err = kvserver.OpenPTreeStore(pool, *recWorkers)
+		case "nvtreec":
+			st, err = kvserver.OpenNVTreeCStore(pool)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
+			os.Exit(2)
+		}
+	} else {
+		switch *store {
+		case "fptreec":
+			st, err = kvserver.NewFPTreeCStore(pool)
+		case "fptree":
+			st, err = kvserver.NewFPTreeStore(pool)
+		case "ptree":
+			st, err = kvserver.NewPTreeStore(pool)
+		case "nvtreec":
+			st, err = kvserver.NewNVTreeCStore(pool)
+		case "hashmap":
+			st = kvserver.NewHashMapStore()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
+			os.Exit(2)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if recovered {
+		shutdown := "crash"
+		if pool.WasCleanShutdown() {
+			shutdown = "clean"
+		}
+		if c, ok := st.(kvserver.Checker); ok {
+			if err := c.CheckInvariants(); err != nil {
+				fmt.Fprintf(os.Stderr, "memkv: recovered tree failed invariant check: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("memkv: recovered %d keys from %s (%s shutdown, invariants ok)\n",
+				c.Len(), *data, shutdown)
+		}
+	} else if *data != "" {
+		fmt.Printf("memkv: created arena %s\n", *data)
 	}
 
 	var ring *obs.EventRing
@@ -111,11 +181,37 @@ func main() {
 		fmt.Printf("memkv: metrics on http://%s/metrics\n", metricsBound)
 	}
 
+	stopSync := make(chan struct{})
+	if *syncEvery > 0 && pool != nil && pool.FileBacked() {
+		go func() {
+			t := time.NewTicker(*syncEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := pool.Sync(); err != nil {
+						fmt.Fprintf(os.Stderr, "memkv: arena sync: %v\n", err)
+					}
+				case <-stopSync:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("memkv: shutting down")
 	srv.Close()
+	close(stopSync)
+	if pool != nil && pool.FileBacked() {
+		if err := pool.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "memkv: closing arena: %v\n", err)
+		} else {
+			fmt.Printf("memkv: arena %s closed cleanly\n", *data)
+		}
+	}
 	if *dumpStats {
 		srv.DumpStats(os.Stdout)
 	}

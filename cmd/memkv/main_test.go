@@ -1,0 +1,255 @@
+package main
+
+// End-to-end durability test of the real memkv binary: build it, run it with
+// -data, SIGKILL it mid-workload over the live TCP connection, restart it on
+// the same arena file and check that every acknowledged set survives and the
+// recovery banner reports a consistent tree.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildMemkv compiles the binary under test once per test run.
+func buildMemkv(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "memkv-under-test")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// memkvProc is one running memkv child and its captured stdout.
+type memkvProc struct {
+	cmd   *exec.Cmd
+	mu    sync.Mutex
+	lines []string
+	done  chan struct{}
+}
+
+func startMemkv(t *testing.T, bin string, args ...string) *memkvProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &memkvProc{cmd: cmd, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.lines = append(p.lines, sc.Text())
+			p.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+	})
+	return p
+}
+
+// waitLine polls the captured stdout for a line containing substr and
+// returns it.
+func (p *memkvProc) waitLine(t *testing.T, substr string) string {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		for _, l := range p.lines {
+			if strings.Contains(l, substr) {
+				p.mu.Unlock()
+				return l
+			}
+		}
+		p.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t.Fatalf("memkv never printed %q; output so far:\n%s", substr, strings.Join(p.lines, "\n"))
+	return ""
+}
+
+// boundAddr extracts the listen address from the startup banner.
+func (p *memkvProc) boundAddr(t *testing.T) string {
+	t.Helper()
+	line := p.waitLine(t, "listening on")
+	f := strings.Fields(line)
+	for i, w := range f {
+		if w == "on" && i+1 < len(f) {
+			return f[i+1]
+		}
+	}
+	t.Fatalf("cannot parse listen address from %q", line)
+	return ""
+}
+
+func memkvSet(t *testing.T, rw *bufio.ReadWriter, key, val string) {
+	t.Helper()
+	fmt.Fprintf(rw, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := rw.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line) != "STORED" {
+		t.Fatalf("set %s: %q", key, line)
+	}
+}
+
+func memkvGet(t *testing.T, rw *bufio.ReadWriter, key string) (string, bool) {
+	t.Helper()
+	fmt.Fprintf(rw, "get %s\r\n", key)
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line, err := rw.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(line) == "END" {
+		return "", false
+	}
+	if !strings.HasPrefix(line, "VALUE ") {
+		t.Fatalf("get %s: %q", key, line)
+	}
+	val, err := rw.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end, err := rw.ReadString('\n'); err != nil || strings.TrimSpace(end) != "END" {
+		t.Fatalf("get %s: missing END (%q, %v)", key, end, err)
+	}
+	return strings.TrimSpace(val), true
+}
+
+func dialMemkv(t *testing.T, addr string) *bufio.ReadWriter {
+	t.Helper()
+	var conn net.Conn
+	var err error
+	for i := 0; i < 100; i++ {
+		conn, err = net.Dial("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+}
+
+// TestMemkvKillRestart drives the acceptance scenario end to end:
+//
+//  1. memkv -data serves sets, each acknowledged with STORED;
+//  2. the process dies by SIGKILL mid-workload;
+//  3. a fresh memkv on the same -data file recovers, reports a crash
+//     shutdown with intact invariants, and serves every acknowledged key;
+//  4. after a graceful SIGTERM the next start reports a clean shutdown.
+func TestMemkvKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	dir := t.TempDir()
+	bin := buildMemkv(t, dir)
+	arena := filepath.Join(dir, "memkv.dat")
+	args := []string{"-addr", "127.0.0.1:0", "-store", "fptreec", "-data", arena, "-pool", "64", "-stats=false"}
+
+	p1 := startMemkv(t, bin, args...)
+	p1.waitLine(t, "created arena")
+	rw := dialMemkv(t, p1.boundAddr(t))
+
+	const n = 500
+	acked := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user:%04d", i%300)
+		v := fmt.Sprintf("payload-%06d", i)
+		memkvSet(t, rw, k, v)
+		acked[k] = v
+	}
+	// Kill without warning while the connection is live.
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait() //nolint:errcheck
+	<-p1.done
+
+	p2 := startMemkv(t, bin, args...)
+	banner := p2.waitLine(t, "recovered")
+	if !strings.Contains(banner, "crash shutdown") {
+		t.Fatalf("recovery banner does not report a crash shutdown: %q", banner)
+	}
+	if !strings.Contains(banner, "invariants ok") {
+		t.Fatalf("recovery banner does not confirm invariants: %q", banner)
+	}
+	rw2 := dialMemkv(t, p2.boundAddr(t))
+	for k, want := range acked {
+		got, ok := memkvGet(t, rw2, k)
+		if !ok {
+			t.Fatalf("acked key %q lost after kill -9", k)
+		}
+		if got != want {
+			t.Fatalf("key %q = %q, want %q", k, got, want)
+		}
+	}
+
+	// Graceful shutdown marks the arena clean; the next start reports it.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	p2.cmd.Wait() //nolint:errcheck
+	<-p2.done
+	p2.waitLine(t, "closed cleanly")
+
+	p3 := startMemkv(t, bin, args...)
+	banner3 := p3.waitLine(t, "recovered")
+	if !strings.Contains(banner3, "clean shutdown") {
+		t.Fatalf("banner after graceful stop: %q", banner3)
+	}
+	rw3 := dialMemkv(t, p3.boundAddr(t))
+	for k, want := range acked {
+		if got, ok := memkvGet(t, rw3, k); !ok || got != want {
+			t.Fatalf("key %q = %q,%v after clean restart, want %q", k, got, ok, want)
+		}
+	}
+}
+
+// TestMemkvHashmapRejectsData pins the transient store's contract.
+func TestMemkvHashmapRejectsData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the server binary")
+	}
+	dir := t.TempDir()
+	bin := buildMemkv(t, dir)
+	cmd := exec.Command(bin, "-store", "hashmap", "-data", filepath.Join(dir, "x.dat"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("hashmap with -data succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "cannot use -data") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}

@@ -13,6 +13,8 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -32,6 +34,7 @@ type JSONRecoveryResult struct {
 	LeavesScanned uint64  `json:"leaves_scanned"`
 	GroupsScanned uint64  `json:"groups_scanned"`
 	SpeedupVs1    float64 `json:"speedup_vs_1"` // recovery_ms(workers=1) / recovery_ms
+	FileBacked    bool    `json:"file_backed,omitempty"`
 }
 
 // RecoveryConfig parameterizes RecoveryBench.
@@ -41,6 +44,13 @@ type RecoveryConfig struct {
 	LatencyNS int    // emulated SCM latency; defaults to 250 (reads and writes)
 	Var       bool   // also measure the variable-size-key tree
 	JSONPath  string // when non-empty, write a JSONReport with Recovery records
+	// FileBacked builds each tree in an arena file (scm.OpenFile), closes it,
+	// and reopens the file cold for every measurement — a true process
+	// restart including the arena mmap, not just the emulated Crash.
+	FileBacked bool
+	// Dir is where FileBacked arena files live; empty means a fresh temp
+	// directory, removed when the bench finishes.
+	Dir string
 }
 
 func (c *RecoveryConfig) normalize() {
@@ -80,6 +90,14 @@ func recoveryPoolMB(n int, varKeys bool) int {
 // line per measurement to w.
 func RecoveryBench(w io.Writer, cfg RecoveryConfig) error {
 	cfg.normalize()
+	if cfg.FileBacked && cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "fptree-recovery-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
 	var results []JSONRecoveryResult
 	for _, size := range cfg.Sizes {
 		rs, err := measureRecoveryFixed(w, size, cfg)
@@ -107,8 +125,12 @@ func RecoveryBench(w io.Writer, cfg RecoveryConfig) error {
 }
 
 func noteRecovery(w io.Writer, r JSONRecoveryResult) {
-	fmt.Fprintf(w, "%-9s %9d keys  workers=%-2d  recovery %8.1f ms  rebuild %8.1f ms  %8d leaves  %.2fx\n",
-		r.Tree, r.Keys, r.Workers, r.RecoveryMS, r.RebuildMS, r.LeavesScanned, r.SpeedupVs1)
+	mode := ""
+	if r.FileBacked {
+		mode = "  [arena file]"
+	}
+	fmt.Fprintf(w, "%-9s %9d keys  workers=%-2d  recovery %8.1f ms  rebuild %8.1f ms  %8d leaves  %.2fx%s\n",
+		r.Tree, r.Keys, r.Workers, r.RecoveryMS, r.RebuildMS, r.LeavesScanned, r.SpeedupVs1, mode)
 }
 
 // timeRecovery simulates a restart of pool and times one recovery at the
@@ -126,9 +148,56 @@ func timeRecovery(pool *scm.Pool, lat time.Duration, open func() (*core.OpStats,
 	return dt, ops, n, err
 }
 
+// recoveryArena hands out the pool for each measurement. In-memory mode
+// reuses the one loaded pool (timeRecovery's Crash resets it); file-backed
+// mode closes the loaded arena after the bulk load and reopens the file cold
+// per measurement, so every data point includes a real arena-file open.
+type recoveryArena struct {
+	cfg  RecoveryConfig
+	pool *scm.Pool // the loaded tree's pool; nil once closed in file mode
+	path string
+}
+
+func newRecoveryArena(cfg RecoveryConfig, name string, sizeMB int) (*recoveryArena, error) {
+	a := &recoveryArena{cfg: cfg}
+	if !cfg.FileBacked {
+		a.pool = scm.NewPool(int64(sizeMB)<<20, scm.LatencyConfig{})
+		return a, nil
+	}
+	a.path = filepath.Join(cfg.Dir, name)
+	pool, _, err := scm.OpenFile(a.path, int64(sizeMB)<<20, scm.LatencyConfig{})
+	if err != nil {
+		return nil, err
+	}
+	a.pool = pool
+	return a, nil
+}
+
+// forMeasurement returns the pool to recover plus a release function to call
+// when the measurement is done.
+func (a *recoveryArena) forMeasurement() (*scm.Pool, func(), error) {
+	if !a.cfg.FileBacked {
+		return a.pool, func() {}, nil
+	}
+	if a.pool != nil { // first measurement: close the arena the load built
+		if err := a.pool.Close(); err != nil {
+			return nil, nil, err
+		}
+		a.pool = nil
+	}
+	p, _, err := scm.OpenFile(a.path, 0, scm.LatencyConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, func() { p.Close() }, nil //nolint:errcheck
+}
+
 func measureRecoveryFixed(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecoveryResult, error) {
-	pool := scm.NewPool(int64(recoveryPoolMB(size, false))<<20, scm.LatencyConfig{})
-	tr, err := core.Create(pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8})
+	arena, err := newRecoveryArena(cfg, fmt.Sprintf("fixed-%d.dat", size), recoveryPoolMB(size, false))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.Create(arena.pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8})
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +212,10 @@ func measureRecoveryFixed(w io.Writer, size int, cfg RecoveryConfig) ([]JSONReco
 	var out []JSONRecoveryResult
 	var base float64
 	for _, workers := range cfg.Workers {
+		pool, release, err := arena.forMeasurement()
+		if err != nil {
+			return nil, err
+		}
 		dt, ops, n, err := timeRecovery(pool, lat, func() (*core.OpStats, int, error) {
 			t, err := core.Open(pool, core.RecoveryOptions{Workers: workers})
 			if err != nil {
@@ -150,13 +223,14 @@ func measureRecoveryFixed(w io.Writer, size int, cfg RecoveryConfig) ([]JSONReco
 			}
 			return &t.Ops, t.Len(), nil
 		})
+		release()
 		if err != nil {
 			return nil, err
 		}
 		if n != size {
 			return nil, fmt.Errorf("bench: recovered %d keys, want %d", n, size)
 		}
-		r := recoveryResult("FPTree", size, workers, cfg.LatencyNS, dt, ops, &base)
+		r := recoveryResult("FPTree", size, workers, cfg, dt, ops, &base)
 		noteRecovery(w, r)
 		out = append(out, r)
 	}
@@ -164,8 +238,11 @@ func measureRecoveryFixed(w io.Writer, size int, cfg RecoveryConfig) ([]JSONReco
 }
 
 func measureRecoveryVar(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecoveryResult, error) {
-	pool := scm.NewPool(int64(recoveryPoolMB(size, true))<<20, scm.LatencyConfig{})
-	tr, err := core.CreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8, ValueSize: 8})
+	arena, err := newRecoveryArena(cfg, fmt.Sprintf("var-%d.dat", size), recoveryPoolMB(size, true))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.CreateVar(arena.pool, core.Config{LeafCap: 56, InnerFanout: 128, GroupSize: 8, ValueSize: 8})
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +258,10 @@ func measureRecoveryVar(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecove
 	var out []JSONRecoveryResult
 	var base float64
 	for _, workers := range cfg.Workers {
+		pool, release, err := arena.forMeasurement()
+		if err != nil {
+			return nil, err
+		}
 		dt, ops, n, err := timeRecovery(pool, lat, func() (*core.OpStats, int, error) {
 			t, err := core.OpenVar(pool, core.RecoveryOptions{Workers: workers})
 			if err != nil {
@@ -188,13 +269,14 @@ func measureRecoveryVar(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecove
 			}
 			return &t.Ops, t.Len(), nil
 		})
+		release()
 		if err != nil {
 			return nil, err
 		}
 		if n != size {
 			return nil, fmt.Errorf("bench: recovered %d keys, want %d", n, size)
 		}
-		r := recoveryResult("FPTreeVar", size, workers, cfg.LatencyNS, dt, ops, &base)
+		r := recoveryResult("FPTreeVar", size, workers, cfg, dt, ops, &base)
 		noteRecovery(w, r)
 		out = append(out, r)
 	}
@@ -203,7 +285,7 @@ func measureRecoveryVar(w io.Writer, size int, cfg RecoveryConfig) ([]JSONRecove
 
 // recoveryResult assembles one record; base carries the workers=1 time
 // across the worker sweep for the speedup column.
-func recoveryResult(tree string, size, workers, latNS int, dt time.Duration, ops *core.OpStats, base *float64) JSONRecoveryResult {
+func recoveryResult(tree string, size, workers int, cfg RecoveryConfig, dt time.Duration, ops *core.OpStats, base *float64) JSONRecoveryResult {
 	ms := float64(dt.Nanoseconds()) / 1e6
 	if workers == 1 {
 		*base = ms
@@ -216,11 +298,12 @@ func recoveryResult(tree string, size, workers, latNS int, dt time.Duration, ops
 		Tree:          tree,
 		Keys:          size,
 		Workers:       workers,
-		LatencyNS:     latNS,
+		LatencyNS:     cfg.LatencyNS,
 		RecoveryMS:    ms,
 		RebuildMS:     float64(ops.RecoveryNanos.Load()) / 1e6,
 		LeavesScanned: ops.RecoveryLeaves.Load(),
 		GroupsScanned: ops.RecoveryGroups.Load(),
 		SpeedupVs1:    speedup,
+		FileBacked:    cfg.FileBacked,
 	}
 }

@@ -82,6 +82,21 @@ func createMeta(pool *scm.Pool, keyKind uint64, cfg Config) (meta, error) {
 	return m, nil
 }
 
+// HasTree reports whether the pool's arena already holds a fully initialized
+// tree of any variant. It runs allocator recovery first (idempotent, and
+// required before the root pointer may be trusted), so callers with a freshly
+// reopened arena — e.g. memkv deciding between Create and Open on a -data
+// file — can use it directly.
+func HasTree(pool *scm.Pool) bool {
+	pool.Recover()
+	root := pool.Root()
+	if root.IsNull() {
+		return false
+	}
+	return pool.ReadU64(root.Offset+mOffMagic) == metaMagic &&
+		pool.ReadU64(root.Offset+mOffStatus) == 1
+}
+
 // openMeta locates an existing metadata block through the arena root and
 // validates it against the expected key kind.
 func openMeta(pool *scm.Pool, wantKind uint64) (meta, Config, error) {

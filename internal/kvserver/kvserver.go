@@ -70,9 +70,28 @@ func decodeVal(buf []byte) []byte {
 
 // --- stores -----------------------------------------------------------------
 
+// Checker is the optional store interface for post-recovery validation:
+// stores backed by a persistent tree report their size and can verify the
+// tree's structural invariants. The transient hash map does not implement it.
+type Checker interface {
+	Len() int
+	CheckInvariants() error
+}
+
 // NewFPTreeCStore backs the cache with the concurrent FPTree.
 func NewFPTreeCStore(pool *scm.Pool) (Store, error) {
 	t, err := core.CCreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 64, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return cvarStore{t}, nil
+}
+
+// OpenFPTreeCStore recovers a concurrent-FPTree store from an arena that
+// already holds one (a reopened -data file); workers tunes the parallel
+// recovery leaf scan.
+func OpenFPTreeCStore(pool *scm.Pool, workers int) (Store, error) {
+	t, err := core.COpenVar(pool, core.RecoveryOptions{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -97,6 +116,8 @@ func (s cvarStore) Get(k []byte) ([]byte, bool) {
 }
 func (s cvarStore) Delete(k []byte) (bool, error)         { return s.t.Delete(k) }
 func (s cvarStore) Name() string                          { return "FPTreeC" }
+func (s cvarStore) Len() int                              { return s.t.Len() }
+func (s cvarStore) CheckInvariants() error                { return s.t.CheckInvariants() }
 func (s cvarStore) RegisterMetrics(reg *obs.Registry)     { s.t.RegisterMetrics(reg) }
 func (s *lockedVarStore) RegisterMetrics(r *obs.Registry) { s.t.RegisterMetrics(r) }
 
@@ -117,6 +138,26 @@ func NewPTreeStore(pool *scm.Pool) (Store, error) {
 		return nil, err
 	}
 	return &lockedVarStore{t: t, name: "PTree"}, nil
+}
+
+// OpenFPTreeStore recovers a single-threaded FPTree store from an arena that
+// already holds one. The tree's variant and layout come from the persistent
+// metadata, not from the constructor's defaults.
+func OpenFPTreeStore(pool *scm.Pool, workers int) (Store, error) {
+	return openLockedVarStore(pool, workers, "FPTree")
+}
+
+// OpenPTreeStore recovers a single-threaded PTree store.
+func OpenPTreeStore(pool *scm.Pool, workers int) (Store, error) {
+	return openLockedVarStore(pool, workers, "PTree")
+}
+
+func openLockedVarStore(pool *scm.Pool, workers int, name string) (Store, error) {
+	t, err := core.OpenVar(pool, core.RecoveryOptions{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	return &lockedVarStore{t: t, name: name}, nil
 }
 
 type lockedVarStore struct {
@@ -153,9 +194,31 @@ func (s *lockedVarStore) Delete(k []byte) (bool, error) {
 
 func (s *lockedVarStore) Name() string { return s.name }
 
+func (s *lockedVarStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Len()
+}
+
+func (s *lockedVarStore) CheckInvariants() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.CheckInvariants()
+}
+
 // NewNVTreeCStore backs the cache with the concurrent NV-Tree.
 func NewNVTreeCStore(pool *scm.Pool) (Store, error) {
 	t, err := nvtree.CNewVar(pool, nvtree.Config{LeafCap: 32, InnerCap: 128, ValueSize: slotSize})
+	if err != nil {
+		return nil, err
+	}
+	return nvStore{t}, nil
+}
+
+// OpenNVTreeCStore recovers a concurrent NV-Tree store from an arena that
+// already holds one.
+func OpenNVTreeCStore(pool *scm.Pool) (Store, error) {
+	t, err := nvtree.COpenVar(pool, 128)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +243,8 @@ func (s nvStore) Get(k []byte) ([]byte, bool) {
 }
 func (s nvStore) Delete(k []byte) (bool, error) { return s.t.Delete(k) }
 func (s nvStore) Name() string                  { return "NV-TreeC" }
+func (s nvStore) Len() int                      { return s.t.Len() }
+func (s nvStore) CheckInvariants() error        { return s.t.CheckInvariants() }
 
 // NewHashMapStore is vanilla memcached's transient hash table. It enforces
 // the same MaxValueSize contract as the tree stores so every engine is
@@ -370,6 +435,8 @@ func (s *Server) writeStats(w io.Writer, eol string) {
 		stat("scm_allocs", ps.Allocs)
 		stat("scm_frees", ps.Frees)
 		stat("scm_bytes_flushed", ps.BytesFlushed)
+		stat("scm_syncs", ps.Syncs)
+		stat("scm_sync_nanos", ps.SyncNanos)
 	}
 }
 

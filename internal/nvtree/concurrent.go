@@ -84,6 +84,14 @@ func (c *CTree) Len() int { return int(c.size.Load()) }
 // Pool returns the backing pool.
 func (c *CTree) Pool() *scm.Pool { return c.t.Pool() }
 
+// CheckInvariants validates the tree's structural invariants under the
+// exclusive structure lock (testing and recovery aid).
+func (c *CTree) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.CheckInvariants()
+}
+
 // Find returns the value stored under key.
 func (c *CTree) Find(key uint64) (uint64, bool) {
 	c.mu.RLock()
@@ -199,6 +207,14 @@ func (c *CVarTree) Len() int { return int(c.size.Load()) }
 
 // Pool returns the backing pool.
 func (c *CVarTree) Pool() *scm.Pool { return c.t.Pool() }
+
+// CheckInvariants validates the tree's structural invariants under the
+// exclusive structure lock (testing and recovery aid).
+func (c *CVarTree) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t.CheckInvariants()
+}
 
 // Find returns a copy of the value stored under key.
 func (c *CVarTree) Find(key []byte) ([]byte, bool) {

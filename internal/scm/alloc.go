@@ -23,6 +23,7 @@ const (
 	offIntentBlk = 72 // staged block offset
 	offArenaID   = 80 // persistent arena identity (PPtrs embed it)
 	offIntentSum = 88 // checksum over (op, ref, sz, blk): torn-stage detector
+	offClean     = 96 // clean-shutdown marker: 1 = Close completed (file-backed)
 	offFreeHeads = 256
 	numClasses   = (headerSize - offFreeHeads) / 8 // 480 classes → max 30 KiB reusable blocks
 	maxClassSize = numClasses * LineSize
@@ -96,10 +97,24 @@ func (p *Pool) formatHeader() {
 	p.Persist(0, headerSize)
 }
 
-// loadAllocState restores the volatile allocator state after Load: the arena
-// identity is persistent because every PPtr in the arena embeds it.
+// loadAllocState restores the volatile allocator state after Load/OpenFile:
+// the arena identity is persistent because every PPtr in the arena embeds it.
+// The global ID counter is advanced past the restored ID — without that, a
+// later NewPool could mint the same ArenaID and PPtrs from two live arenas
+// would be indistinguishable.
 func (p *Pool) loadAllocState() {
 	p.id = p.ReadU64(offArenaID)
+	notePoolID(p.id)
+}
+
+// notePoolID raises the global pool-ID counter to at least id (CAS-max).
+func notePoolID(id uint64) {
+	for {
+		cur := poolIDs.Load()
+		if cur >= id || poolIDs.CompareAndSwap(cur, id) {
+			return
+		}
+	}
 }
 
 // Root returns the application root pointer stored in the arena header. It

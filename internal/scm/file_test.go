@@ -1,0 +1,314 @@
+package scm
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadAdvancesPoolIDCounter is the regression test for the duplicate
+// ArenaID bug: Load restored p.id from the image but never advanced the
+// global counter, so a pool created after a Load could mint the same ArenaID
+// and its persistent pointers would alias the loaded arena's.
+func TestLoadAdvancesPoolIDCounter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.img")
+	p := newTestPool(t)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Push the image's ID far above the live counter, as if the image came
+	// from a long-running previous process.
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := poolIDs.Load() + 1000
+	binary.LittleEndian.PutUint64(img[offArenaID:], high)
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := Load(path, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID() != high {
+		t.Fatalf("loaded ID = %d, want %d", q.ID(), high)
+	}
+	fresh := NewPool(1<<16, LatencyConfig{CacheBytes: -1})
+	if fresh.ID() <= high {
+		t.Fatalf("pool created after Load minted ID %d <= loaded ID %d (ArenaID collision)", fresh.ID(), high)
+	}
+}
+
+func TestNotePoolIDNeverRegresses(t *testing.T) {
+	before := poolIDs.Load()
+	notePoolID(1) // far below the live counter
+	if got := poolIDs.Load(); got < before {
+		t.Fatalf("notePoolID regressed counter: %d -> %d", before, got)
+	}
+	notePoolID(before + 50)
+	if got := poolIDs.Load(); got < before+50 {
+		t.Fatalf("notePoolID failed to advance counter: got %d, want >= %d", got, before+50)
+	}
+}
+
+// TestSaveIsAtomic checks the temp-file+rename discipline: a Save over an
+// existing image leaves either image intact (never a torn mix) and cleans up
+// its temp file.
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arena.img")
+	p := newTestPool(t)
+	ref := refCells(t, p)
+	ptr, err := p.Alloc(ref, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteBytes(ptr.Offset, []byte("v1"))
+	p.Persist(ptr.Offset, 2)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteBytes(ptr.Offset, []byte("v2"))
+	p.Persist(ptr.Offset, 2)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stray temp file after Save: %s", e.Name())
+		}
+	}
+	q, err := Load(path, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.ReadBytes(ptr.Offset, 2); string(got) != "v2" {
+		t.Fatalf("image content = %q, want v2", got)
+	}
+}
+
+func TestSaveToUnwritableDirFails(t *testing.T) {
+	p := newTestPool(t)
+	if err := p.Save(filepath.Join(t.TempDir(), "no-such-dir", "arena.img")); err == nil {
+		t.Fatal("Save into missing directory succeeded")
+	}
+}
+
+func TestLoadRejectsTruncatedImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "arena.img")
+	p := newTestPool(t)
+	if err := p.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncated to a line boundary below the bump pointer: header parses but
+	// allocated blocks are missing — validateImage must reject it.
+	cut := img[:headerSize+LineSize]
+	trunc := filepath.Join(dir, "trunc.img")
+	if err := os.WriteFile(trunc, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force the bump pointer beyond the truncated size.
+	bumped := append([]byte(nil), cut...)
+	binary.LittleEndian.PutUint64(bumped[offBump:], uint64(len(img)))
+	if err := os.WriteFile(trunc, bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(trunc, LatencyConfig{}); err == nil {
+		t.Fatal("Load accepted image with bump pointer past EOF")
+	}
+
+	// Header that never finished formatting (state word torn back to 0).
+	torn := append([]byte(nil), img...)
+	binary.LittleEndian.PutUint64(torn[offState:], 0)
+	tornPath := filepath.Join(dir, "torn.img")
+	if err := os.WriteFile(tornPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(tornPath, LatencyConfig{}); err == nil {
+		t.Fatal("Load accepted half-formatted header")
+	}
+}
+
+func TestOpenFileCreatesAndReopens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.dat")
+	p, recovered, err := OpenFile(path, 1<<20, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered {
+		t.Fatal("fresh arena reported recovered")
+	}
+	if !p.FileBacked() || p.Path() != path {
+		t.Fatalf("FileBacked=%v Path=%q", p.FileBacked(), p.Path())
+	}
+	ref := refCells(t, p)
+	ptr, err := p.Alloc(ref, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteBytes(ptr.Offset, []byte("file-backed payload"))
+	p.Persist(ptr.Offset, 19)
+	p.SetRoot(ptr)
+	id := p.ID()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, recovered, err := OpenFile(path, 0, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if !recovered {
+		t.Fatal("existing arena not reported recovered")
+	}
+	if !q.WasCleanShutdown() {
+		t.Fatal("clean Close not reflected by WasCleanShutdown")
+	}
+	if q.ID() != id {
+		t.Fatalf("arena ID changed across reopen: %d -> %d", id, q.ID())
+	}
+	q.Recover()
+	root := q.Root()
+	if root.Offset != ptr.Offset {
+		t.Fatalf("root = %v, want offset %#x", root, ptr.Offset)
+	}
+	if got := q.ReadBytes(root.Offset, 19); string(got) != "file-backed payload" {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+// TestOpenFileDirtyMarkerAfterNonClose verifies the clean-shutdown marker is
+// re-armed on open: an exit without Close (modelled by dropping the pool and
+// only syncing) must leave the image marked dirty.
+func TestOpenFileDirtyMarkerAfterNonClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.dat")
+	p, _, err := OpenFile(path, 1<<20, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (consumes + re-arms marker), then tear down WITHOUT Close.
+	p, _, err = OpenFile(path, 0, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.WasCleanShutdown() {
+		t.Fatal("expected clean marker on first reopen")
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.teardownBacking(); err != nil { // simulated crash: no Close
+		t.Fatal(err)
+	}
+
+	q, _, err := OpenFile(path, 0, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.WasCleanShutdown() {
+		t.Fatal("image still marked clean after a non-Close teardown")
+	}
+}
+
+func TestOpenFilePersistSurvivesReopenWithoutSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.dat")
+	p, _, err := OpenFile(path, 1<<20, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refCells(t, p)
+	ptr, err := p.Alloc(ref, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteU64(ptr.Offset, 0xfeed)
+	p.Persist(ptr.Offset, 8)
+	p.SetRoot(ptr)
+	// Kill the process image without Sync or Close: on the mmap path the
+	// persisted lines are already in the page cache / mapping.
+	if err := p.teardownBacking(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, recovered, err := OpenFile(path, 0, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if !recovered {
+		t.Fatal("existing arena not reported recovered")
+	}
+	if q.WasCleanShutdown() {
+		t.Fatal("crash-style teardown reported clean shutdown")
+	}
+	q.Recover()
+	if got := q.ReadU64(q.Root().Offset); got != 0xfeed {
+		t.Fatalf("persisted word lost across teardown: %#x", got)
+	}
+}
+
+func TestOpenFileRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.dat")
+	if err := os.WriteFile(path, []byte("not an arena image at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, err := OpenFile(path, 0, LatencyConfig{}); err == nil {
+		p.Close()
+		t.Fatal("OpenFile accepted garbage file")
+	}
+}
+
+func TestOpenFileStatsCountSyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "arena.dat")
+	p, _, err := OpenFile(path, 1<<20, LatencyConfig{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Stats().Syncs.Load()
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Syncs.Load(); got != before+1 {
+		t.Fatalf("Syncs = %d, want %d", got, before+1)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncOnHeapPoolIsNoop(t *testing.T) {
+	p := newTestPool(t)
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Syncs.Load() != 0 {
+		t.Fatal("Sync on a non-file-backed pool should not count")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.FileBacked() || p.Path() != "" || p.WasCleanShutdown() {
+		t.Fatal("heap pool claims file backing")
+	}
+}

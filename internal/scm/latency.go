@@ -168,6 +168,8 @@ type Stats struct {
 	Allocs       atomic.Uint64 // persistent allocations
 	Frees        atomic.Uint64 // persistent deallocations
 	BytesFlushed atomic.Uint64 // payload bytes made durable
+	Syncs        atomic.Uint64 // arena-file syncs (msync/fdatasync equivalents)
+	SyncNanos    atomic.Uint64 // wall-clock nanoseconds spent in arena-file syncs
 }
 
 // Snapshot returns a plain-struct copy of the counters.
@@ -182,6 +184,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Allocs:       s.Allocs.Load(),
 		Frees:        s.Frees.Load(),
 		BytesFlushed: s.BytesFlushed.Load(),
+		Syncs:        s.Syncs.Load(),
+		SyncNanos:    s.SyncNanos.Load(),
 	}
 }
 
@@ -196,6 +200,8 @@ type StatsSnapshot struct {
 	Allocs       uint64
 	Frees        uint64
 	BytesFlushed uint64
+	Syncs        uint64
+	SyncNanos    uint64
 }
 
 // Sub returns the delta s - o, counter by counter.
@@ -210,5 +216,7 @@ func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 		Allocs:       s.Allocs - o.Allocs,
 		Frees:        s.Frees - o.Frees,
 		BytesFlushed: s.BytesFlushed - o.BytesFlushed,
+		Syncs:        s.Syncs - o.Syncs,
+		SyncNanos:    s.SyncNanos - o.SyncNanos,
 	}
 }

@@ -26,6 +26,8 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
 		{"allocs_total", "persistent allocations", &s.Allocs},
 		{"frees_total", "persistent deallocations", &s.Frees},
 		{"bytes_flushed_total", "payload bytes made durable", &s.BytesFlushed},
+		{"syncs_total", "arena-file syncs (msync/fdatasync equivalents)", &s.Syncs},
+		{"sync_nanos_total", "wall-clock nanoseconds spent in arena-file syncs", &s.SyncNanos},
 	} {
 		reg.CounterFunc(fmt.Sprintf("%s_%s", prefix, e.suffix), e.help, e.src.Load)
 	}

@@ -1,0 +1,36 @@
+//go:build linux
+
+package scm
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Linux arena-file mapping: the durable view is a MAP_SHARED mmap of the
+// file, so every flushLine memcpy lands straight in the page cache and
+// survives process death. msync(MS_SYNC) extends that to power failure.
+
+const mmapSupported = true
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// msyncFile is msync(2); the stdlib syscall package exposes the constants
+// but not the wrapper, so issue it directly.
+func msyncFile(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	_, _, errno := syscall.Syscall(syscall.SYS_MSYNC,
+		uintptr(unsafe.Pointer(&b[0])), uintptr(len(b)), uintptr(syscall.MS_SYNC))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+//go:build !linux
+
+package scm
+
+import "os"
+
+// Fallback for platforms without the mmap path: the durable view stays a
+// heap slice and Pool.Sync rewrites the whole arena file. Data is then only
+// as durable as the last Sync/Close — kill -9 durability needs the mapped
+// path (mmap_linux.go).
+
+const mmapSupported = false
+
+func mmapFile(*os.File, int64) ([]byte, error) { panic("scm: mmap unsupported on this platform") }
+
+func munmapFile([]byte) error { return nil }
+
+func msyncFile([]byte) error { return nil }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,14 @@ type Pool struct {
 	dirty   []atomic.Uint64 // bitmap over lines: 1 = cache view ahead of durable
 	cache   *cacheSim
 	stats   Stats
+
+	// back is non-nil for file-backed pools (OpenFile): the durable view is
+	// then the arena file itself (an mmap on supporting platforms), so it
+	// survives a real process death, not just an emulated Crash. wasClean
+	// records whether the image carried the clean-shutdown marker when it was
+	// reopened.
+	back     *fileBacking
+	wasClean bool
 
 	alloc allocState // persistent allocator bookkeeping (volatile part)
 
@@ -53,24 +62,38 @@ var ErrOutOfMemory = errors.New("scm: arena out of memory")
 
 var poolIDs atomic.Uint64
 
-// NewPool creates a fresh arena of the given capacity (rounded up to a whole
-// number of cache lines) and formats its header and allocator state.
-func NewPool(capacity int64, cfg LatencyConfig) *Pool {
+// roundCapacity applies the arena sizing rules shared by NewPool and
+// OpenFile: at least two header pages, rounded up to whole cache lines.
+func roundCapacity(capacity int64) int64 {
 	if capacity < headerSize*2 {
 		capacity = headerSize * 2
 	}
-	lines := (capacity + LineSize - 1) / LineSize
-	capacity = lines * LineSize
+	return (capacity + LineSize - 1) / LineSize * LineSize
+}
+
+// newPoolRaw assembles a pool around an existing durable view (a fresh
+// zeroed slice, a loaded image, or an arena-file mapping). The cache view
+// starts equal to the durable view, as after a cold restart; the caller is
+// responsible for the arena ID and header.
+func newPoolRaw(durable []byte, cfg LatencyConfig) *Pool {
+	lines := int64(len(durable)) / LineSize
 	p := &Pool{
-		id:      poolIDs.Add(1),
 		cfg:     cfg,
-		mem:     make([]byte, capacity),
-		durable: make([]byte, capacity),
+		mem:     append([]byte(nil), durable...),
+		durable: durable,
 		dirty:   make([]atomic.Uint64, (lines+63)/64),
 		cache:   newCacheSim(cfg.CacheBytes),
 	}
 	p.failFlushes.Store(-1)
 	p.failFences.Store(-1)
+	return p
+}
+
+// NewPool creates a fresh arena of the given capacity (rounded up to a whole
+// number of cache lines) and formats its header and allocator state.
+func NewPool(capacity int64, cfg LatencyConfig) *Pool {
+	p := newPoolRaw(make([]byte, roundCapacity(capacity)), cfg)
+	p.id = poolIDs.Add(1)
 	p.formatHeader()
 	return p
 }
@@ -436,17 +459,81 @@ func (p *Pool) Clone() *Pool {
 	return q
 }
 
-// --- file backing ---------------------------------------------------------
+// --- image save/load -------------------------------------------------------
 
 // Save writes the durable view to path, modelling the arena file that an
 // SCM-aware filesystem would expose. Only flushed data is written: anything
 // still in the cache view is lost, exactly as on a machine restart.
+//
+// The write is crash-safe: the image goes to a temp file in the target's
+// directory, is fsynced, and is renamed over path, so a crash mid-save never
+// corrupts an existing image — readers observe either the old bytes or the
+// new ones, never a torn mix.
 func (p *Pool) Save(path string) error {
-	return os.WriteFile(path, p.durable, 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(p.durable); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// The rename is only durable once the directory entry is; fsync the
+	// directory so a power cut after Save returns cannot undo it.
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// validateImage sanity-checks the durable view as an arena image: magic,
+// formatted flag, and a bump pointer inside the arena. A truncated or torn
+// image file fails here instead of surfacing as corruption later.
+func (p *Pool) validateImage(path string) error {
+	if got := binary.LittleEndian.Uint64(p.durable[offMagic:]); got != headerMagic {
+		return fmt.Errorf("scm: %s: bad magic %#x", path, got)
+	}
+	if binary.LittleEndian.Uint64(p.durable[offState:]) != 1 {
+		return fmt.Errorf("scm: %s: arena header never finished formatting", path)
+	}
+	bump := binary.LittleEndian.Uint64(p.durable[offBump:])
+	if bump < headerSize || bump > uint64(len(p.durable)) {
+		return fmt.Errorf("scm: %s: bump pointer %#x outside arena of %d bytes (truncated image?)", path, bump, len(p.durable))
+	}
+	return nil
 }
 
 // Load opens an arena file produced by Save. The cache view starts equal to
-// the durable view (a cold restart) and the caller must run recovery.
+// the durable view (a cold restart) and the caller must run recovery. The
+// restored arena ID also advances the global pool-ID counter, so pools
+// created afterwards can never mint a colliding PPtr.ArenaID.
 func Load(path string, cfg LatencyConfig) (*Pool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -455,19 +542,9 @@ func Load(path string, cfg LatencyConfig) (*Pool, error) {
 	if len(data) < headerSize || len(data)%LineSize != 0 {
 		return nil, fmt.Errorf("scm: %s: not an arena image (size %d)", path, len(data))
 	}
-	lines := int64(len(data)) / LineSize
-	p := &Pool{
-		id:      poolIDs.Add(1),
-		cfg:     cfg,
-		mem:     data,
-		durable: append([]byte(nil), data...),
-		dirty:   make([]atomic.Uint64, (lines+63)/64),
-		cache:   newCacheSim(cfg.CacheBytes),
-	}
-	p.failFlushes.Store(-1)
-	p.failFences.Store(-1)
-	if got := binary.LittleEndian.Uint64(p.mem[offMagic:]); got != headerMagic {
-		return nil, fmt.Errorf("scm: %s: bad magic %#x", path, got)
+	p := newPoolRaw(data, cfg)
+	if err := p.validateImage(path); err != nil {
+		return nil, err
 	}
 	p.loadAllocState()
 	return p, nil
