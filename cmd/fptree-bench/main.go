@@ -28,6 +28,13 @@
 // cold for every measurement, so each data point is a true process restart
 // (arena open, mmap, recovery scan) rather than an emulated Crash.
 //
+// -ycsb runs the YCSB-style workload suite (A-F) on the concurrent FPTree:
+// scrambled-zipfian, latest and uniform key choosers, read/update/insert/
+// scan/read-modify-write mixes, -ycsb-threads client goroutines. Scans drive
+// the resumable Iterator and verify every value. With -json the per-workload
+// results land in the standard report schema (tagged with thread count and
+// key distribution), so -check-json and the regression tooling apply.
+//
 // -check-json <path> validates an existing -json document against the report
 // schema and exits; CI's recovery-smoke job runs it over fresh output.
 package main
@@ -73,6 +80,12 @@ func main() {
 		recVar     = flag.Bool("recovery-var", false, "also measure the variable-size-key tree in -recovery")
 		recFile    = flag.Bool("recovery-file", false, "run -recovery over file-backed arenas: each measurement reopens a real arena file cold (true restart, including the mmap)")
 		checkJSON  = flag.String("check-json", "", "validate an existing -json report at this path and exit")
+		ycsb       = flag.Bool("ycsb", false, "run the YCSB-style workload suite (A-F) on the concurrent FPTree instead of the experiments")
+		ycsbWork   = flag.String("ycsb-workloads", "A,B,C,D,E,F", "comma-separated YCSB workloads for -ycsb")
+		ycsbRec    = flag.Int("ycsb-records", 50000, "preloaded records per -ycsb workload")
+		ycsbThr    = flag.Int("ycsb-threads", 1, "client goroutines for -ycsb")
+		ycsbScan   = flag.Int("ycsb-scan", 100, "max scan length for -ycsb workload E")
+		ycsbSeed   = flag.Int64("ycsb-seed", 1, "base RNG seed for -ycsb")
 	)
 	flag.Parse()
 
@@ -130,10 +143,21 @@ func main() {
 			FileBacked: *recFile,
 		}
 		run("recovery", func() error { return bench.RecoveryBench(w, cfg) })
+	} else if *ycsb {
+		cfg := bench.YCSBConfig{
+			Workloads: strings.Split(*ycsbWork, ","),
+			Records:   *ycsbRec,
+			Ops:       *ops,
+			Threads:   *ycsbThr,
+			ScanLen:   *ycsbScan,
+			Seed:      *ycsbSeed,
+			JSONPath:  *jsonOut,
+		}
+		run("ycsb", func() error { return bench.YCSBBench(w, cfg) })
 	} else if *jsonOut != "" {
 		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc) })
 	}
-	if (*stats || *recovery || *jsonOut != "") && !expSet {
+	if (*stats || *recovery || *ycsb || *jsonOut != "") && !expSet {
 		return
 	}
 

@@ -120,6 +120,18 @@ type KV = core.KV
 // VarKV is one variable-size key-value pair.
 type VarKV = core.VarKV
 
+// Iterator is a resumable range iterator over the fixed-key trees: created
+// positioned on the window's first key, advanced with Next, released with
+// Close. On the concurrent tree each step revalidates the cached leaf's
+// modification version and transparently re-seeks from the last returned key
+// on conflict, so iteration never double-emits and never skips a key that is
+// present for the whole session — but it is not a snapshot: concurrent
+// inserts/deletes ahead of the cursor may or may not be observed.
+type Iterator = core.FixedIterator
+
+// VarIterator is the variable-size-key counterpart of Iterator.
+type VarIterator = core.VarIterator
+
 // Tree is the single-threaded FPTree over 8-byte keys and values.
 type Tree struct {
 	t    *core.Tree
@@ -190,8 +202,16 @@ func (t *Tree) BulkLoad(kvs []KV, fill float64) error { return t.t.BulkLoad(kvs,
 // false.
 func (t *Tree) Scan(from uint64, fn func(KV) bool) { t.t.Scan(from, fn) }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0).
 func (t *Tree) ScanN(from uint64, n int) []KV { return t.t.ScanN(from, n) }
+
+// Iterator returns a resumable ascending iterator over [start, end);
+// end == 0 means unbounded.
+func (t *Tree) Iterator(start, end uint64) *Iterator { return t.t.Iterator(start, end) }
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// starting at the greatest key below end (end == 0: the maximum key).
+func (t *Tree) ReverseIterator(start, end uint64) *Iterator { return t.t.ReverseIterator(start, end) }
 
 // Len returns the number of live keys.
 func (t *Tree) Len() int { return t.t.Len() }
@@ -270,8 +290,19 @@ func (t *CTree) Delete(key uint64) (bool, error) { return t.t.Delete(key) }
 // false.
 func (t *CTree) Scan(from uint64, fn func(KV) bool) { t.t.Scan(from, fn) }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0).
 func (t *CTree) ScanN(from uint64, n int) []KV { return t.t.ScanN(from, n) }
+
+// Iterator returns a resumable ascending iterator over [start, end);
+// end == 0 means unbounded. Safe to advance while other goroutines mutate
+// the tree.
+func (t *CTree) Iterator(start, end uint64) *Iterator { return t.t.Iterator(start, end) }
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// starting at the greatest key below end (end == 0: the maximum key).
+func (t *CTree) ReverseIterator(start, end uint64) *Iterator {
+	return t.t.ReverseIterator(start, end)
+}
 
 // Len returns the number of live keys.
 func (t *CTree) Len() int { return t.t.Len() }
@@ -347,8 +378,18 @@ func (t *VarTree) BulkLoad(kvs []VarKV, fill float64) error { return t.t.BulkLoa
 // false.
 func (t *VarTree) Scan(from []byte, fn func(VarKV) bool) { t.t.Scan(from, fn) }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0).
 func (t *VarTree) ScanN(from []byte, n int) []VarKV { return t.t.ScanN(from, n) }
+
+// Iterator returns a resumable ascending iterator over [start, end) in
+// bytewise key order; a nil edge means unbounded.
+func (t *VarTree) Iterator(start, end []byte) *VarIterator { return t.t.Iterator(start, end) }
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// starting at the greatest key below end (nil end: the maximum key).
+func (t *VarTree) ReverseIterator(start, end []byte) *VarIterator {
+	return t.t.ReverseIterator(start, end)
+}
 
 // Len returns the number of live keys.
 func (t *VarTree) Len() int { return t.t.Len() }
@@ -422,6 +463,20 @@ func (t *CVarTree) Delete(key []byte) (bool, error) { return t.t.Delete(key) }
 // Scan visits pairs with key >= from in ascending order until fn returns
 // false.
 func (t *CVarTree) Scan(from []byte, fn func(VarKV) bool) { t.t.Scan(from, fn) }
+
+// ScanN returns up to n pairs with key >= from (nil when n <= 0).
+func (t *CVarTree) ScanN(from []byte, n int) []VarKV { return t.t.ScanN(from, n) }
+
+// Iterator returns a resumable ascending iterator over [start, end) in
+// bytewise key order; a nil edge means unbounded. Safe to advance while
+// other goroutines mutate the tree.
+func (t *CVarTree) Iterator(start, end []byte) *VarIterator { return t.t.Iterator(start, end) }
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// starting at the greatest key below end (nil end: the maximum key).
+func (t *CVarTree) ReverseIterator(start, end []byte) *VarIterator {
+	return t.t.ReverseIterator(start, end)
+}
 
 // Len returns the number of live keys.
 func (t *CVarTree) Len() int { return t.t.Len() }

@@ -196,3 +196,91 @@ func TestPublicAPILatencyEmulation(t *testing.T) {
 		t.Fatalf("latency emulation had no effect: fast=%v slow=%v", fast, slow)
 	}
 }
+
+// TestPublicAPIIterators smokes the resumable iterators through all four
+// facades; the exhaustive differential coverage lives in internal/crashtest.
+func TestPublicAPIIterators(t *testing.T) {
+	fixed, err := Create(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfixed, err := CreateConcurrent(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(10); k <= 500; k += 10 {
+		if err := fixed.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfixed.Insert(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, it := range map[string]*Iterator{
+		"Tree":  fixed.Iterator(100, 200),
+		"CTree": cfixed.Iterator(100, 200),
+	} {
+		var got []uint64
+		for ; it.Valid(); it.Next() {
+			if it.Value() != it.Key()*3 {
+				t.Fatalf("%s: value %d for key %d", name, it.Value(), it.Key())
+			}
+			got = append(got, it.Key())
+		}
+		it.Close()
+		if len(got) != 10 || got[0] != 100 || got[9] != 190 {
+			t.Fatalf("%s: window [100,200) = %v", name, got)
+		}
+	}
+	rev := fixed.ReverseIterator(0, 0)
+	if !rev.Valid() || rev.Key() != 500 {
+		t.Fatalf("reverse start = %d, want 500", rev.Key())
+	}
+	rev.Next()
+	if rev.Key() != 490 {
+		t.Fatalf("reverse second = %d, want 490", rev.Key())
+	}
+	rev.Close()
+
+	vt, err := CreateVar(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvt, err := CreateConcurrentVar(Options{PoolSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("key%03d", i))
+		if err := vt.Insert(k, []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+		if err := cvt.Insert(k, []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, it := range map[string]*VarIterator{
+		"VarTree":  vt.Iterator([]byte("key010"), []byte("key020")),
+		"CVarTree": cvt.Iterator([]byte("key010"), []byte("key020")),
+	} {
+		n := 0
+		for ; it.Valid(); it.Next() {
+			n++
+		}
+		it.Close()
+		if n != 10 {
+			t.Fatalf("%s: window [key010,key020) yielded %d keys, want 10", name, n)
+		}
+	}
+	vrev := cvt.ReverseIterator(nil, nil)
+	if !vrev.Valid() || string(vrev.Key()) != "key049" {
+		t.Fatalf("var reverse start = %q", vrev.Key())
+	}
+	vrev.Close()
+
+	// CVarTree.ScanN joined the facade alongside the iterators.
+	kvs := cvt.ScanN([]byte("key045"), 100)
+	if len(kvs) != 5 || string(kvs[0].Key) != "key045" {
+		t.Fatalf("CVarTree.ScanN = %d pairs, first %q", len(kvs), kvs[0].Key)
+	}
+}

@@ -27,6 +27,11 @@ type JSONWorkloadResult struct {
 	P99NS        int64   `json:"p99_ns"`
 	FlushesPerOp float64 `json:"flushes_per_op"`
 	FencesPerOp  float64 `json:"fences_per_op"`
+	// Threads and KeyDist are set by multi-threaded suites (the YCSB
+	// workloads); both are omitted from single-threaded records, so reports
+	// produced before they existed still validate.
+	Threads int    `json:"threads,omitempty"`
+	KeyDist string `json:"key_dist,omitempty"` // zipfian | latest | uniform
 }
 
 // JSONReport is the top-level document written by the -json flag. It is

@@ -1,0 +1,286 @@
+package bench
+
+// YCSB-style workload suite (workloads A-F) over the concurrent FPTree.
+// The mixes, request distributions and scan shape follow the original YCSB
+// core workloads: A 50/50 read/update, B 95/5 read/update, C read-only,
+// D read-latest with inserts, E short range scans with inserts, F
+// read-modify-write — under scrambled-zipfian, latest or uniform key
+// choosers. Results reuse the -json report schema (one JSONWorkloadResult
+// per workload, tagged with the thread count and key distribution), so the
+// regression-tracking and -check-json tooling applies unchanged.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fptree/internal/core"
+	"fptree/internal/obs"
+	"fptree/internal/scm"
+)
+
+// YCSBConfig tunes a YCSB suite run.
+type YCSBConfig struct {
+	Workloads []string // subset of A..F; empty means all six
+	Records   int      // preloaded records per workload
+	Ops       int      // measured operations per workload
+	Threads   int      // concurrent client goroutines
+	ScanLen   int      // max entries per scan (workload E)
+	Seed      int64    // base RNG seed
+	JSONPath  string   // optional -json output path
+}
+
+// ycsbMix is one workload's operation percentages (summing to 100) and
+// request distribution.
+type ycsbMix struct {
+	name                            string
+	read, update, insert, scan, rmw int
+	dist                            string // zipfian | latest | uniform
+}
+
+var ycsbMixes = []ycsbMix{
+	{"A", 50, 50, 0, 0, 0, "zipfian"},
+	{"B", 95, 5, 0, 0, 0, "zipfian"},
+	{"C", 100, 0, 0, 0, 0, "zipfian"},
+	{"D", 95, 0, 5, 0, 0, "latest"},
+	{"E", 0, 0, 5, 95, 0, "zipfian"},
+	{"F", 50, 0, 0, 0, 50, "zipfian"},
+}
+
+// ycsbHash is SplitMix64's finalizer: a bijection on uint64, used both to
+// scatter insertion-order indices into the key space and to scramble the
+// zipfian chooser so the hot set is spread across the tree.
+func ycsbHash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// ycsbKey maps record index i (insertion order) to its tree key.
+func ycsbKey(i uint64) uint64 {
+	k := ycsbHash(i + 1)
+	if k == 0 {
+		k = 0x9E3779B97F4A7C15
+	}
+	return k
+}
+
+// ycsbVal is the canonical value of a key; scans verify it (workload E has
+// no updates, so every live value is canonical there).
+func ycsbVal(k uint64) uint64 { return k * 0x9E3779B97F4A7C15 }
+
+// ycsbChooser picks record indices under one request distribution. Each
+// client goroutine owns one (rand.Zipf is not goroutine-safe); the shared
+// record count is read atomically so inserts by other threads become
+// visible targets.
+type ycsbChooser struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	dist  string
+	count *atomic.Uint64
+}
+
+func newYCSBChooser(seed int64, dist string, maxRecords uint64, count *atomic.Uint64) *ycsbChooser {
+	rng := rand.New(rand.NewSource(seed))
+	return &ycsbChooser{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, 1.1, 1, maxRecords),
+		dist:  dist,
+		count: count,
+	}
+}
+
+// pick returns an insertion-order record index in [0, count).
+func (c *ycsbChooser) pick() uint64 {
+	n := c.count.Load()
+	switch c.dist {
+	case "uniform":
+		return c.rng.Uint64() % n
+	case "latest":
+		off := c.zipf.Uint64()
+		if off >= n {
+			off = n - 1
+		}
+		return n - 1 - off
+	default: // scrambled zipfian
+		return ycsbHash(c.zipf.Uint64()) % n
+	}
+}
+
+// mixFor resolves a workload letter.
+func mixFor(w string) (ycsbMix, error) {
+	for _, m := range ycsbMixes {
+		if m.name == w {
+			return m, nil
+		}
+	}
+	return ycsbMix{}, fmt.Errorf("bench: unknown YCSB workload %q (want A-F)", w)
+}
+
+// YCSBBench runs the configured workloads, each on a freshly loaded
+// concurrent FPTree, printing one summary line per workload to w and, when
+// cfg.JSONPath is set, writing the results as a -json report.
+func YCSBBench(w io.Writer, cfg YCSBConfig) error {
+	if cfg.Records <= 0 || cfg.Ops <= 0 {
+		return fmt.Errorf("bench: YCSB needs positive records and ops")
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	if cfg.ScanLen <= 0 {
+		cfg.ScanLen = 100
+	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{"A", "B", "C", "D", "E", "F"}
+	}
+	rep := newJSONReport(cfg.Records)
+	for _, name := range cfg.Workloads {
+		mix, err := mixFor(strings.ToUpper(strings.TrimSpace(name)))
+		if err != nil {
+			return err
+		}
+		res, err := ycsbRun(mix, cfg)
+		if err != nil {
+			return fmt.Errorf("bench: ycsb-%s: %v", strings.ToLower(mix.name), err)
+		}
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(w, "%-10s %-8s %9.0f ops/s  p50 %6dns  p99 %7dns  %d threads  %s\n",
+			res.Tree, res.Workload, res.OpsPerSec, res.P50NS, res.P99NS, res.Threads, res.KeyDist)
+	}
+	if cfg.JSONPath != "" {
+		if err := writeJSONReport(rep, cfg.JSONPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d workload results to %s\n", len(rep.Results), cfg.JSONPath)
+	}
+	return nil
+}
+
+// ycsbRun loads one tree and drives one workload mix to completion.
+func ycsbRun(mix ycsbMix, cfg YCSBConfig) (JSONWorkloadResult, error) {
+	pool := scm.NewPool(int64(poolForScale(Scale{Warm: cfg.Records, Ops: cfg.Ops}))<<20, scm.LatencyConfig{})
+	tr, err := core.CCreate(pool, core.Config{LeafCap: 56, InnerFanout: 128})
+	if err != nil {
+		return JSONWorkloadResult{}, err
+	}
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg, "scm")
+
+	var count atomic.Uint64
+	for i := uint64(0); i < uint64(cfg.Records); i++ {
+		k := ycsbKey(i)
+		if err := tr.Insert(k, ycsbVal(k)); err != nil {
+			return JSONWorkloadResult{}, err
+		}
+	}
+	count.Store(uint64(cfg.Records))
+
+	// The zipf domain covers the preload plus every insert the run can
+	// issue, so late inserts remain reachable by the choosers.
+	maxRecords := uint64(cfg.Records+cfg.Ops) - 1
+
+	opsPerThread := cfg.Ops / cfg.Threads
+	if opsPerThread < 1 {
+		opsPerThread = 1
+	}
+	totalOps := opsPerThread * cfg.Threads
+
+	lats := make([][]time.Duration, cfg.Threads)
+	errs := make([]error, cfg.Threads)
+	var wg sync.WaitGroup
+	before := reg.Snapshot()
+	start := time.Now()
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			seed := cfg.Seed + int64(t)*7919
+			choose := newYCSBChooser(seed, mix.dist, maxRecords, &count)
+			opRng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+			lat := make([]time.Duration, opsPerThread)
+			for i := 0; i < opsPerThread; i++ {
+				die := opRng.Intn(100)
+				t0 := time.Now()
+				var err error
+				switch {
+				case die < mix.read:
+					k := ycsbKey(choose.pick())
+					tr.Find(k)
+				case die < mix.read+mix.update:
+					k := ycsbKey(choose.pick())
+					_, err = tr.Update(k, ycsbVal(k))
+				case die < mix.read+mix.update+mix.insert:
+					idx := count.Add(1) - 1
+					k := ycsbKey(idx)
+					err = tr.Insert(k, ycsbVal(k))
+				case die < mix.read+mix.update+mix.insert+mix.scan:
+					n := 1 + opRng.Intn(cfg.ScanLen)
+					err = ycsbScan(tr, ycsbKey(choose.pick()), n)
+				default: // read-modify-write
+					k := ycsbKey(choose.pick())
+					if old, ok := tr.Find(k); ok {
+						_, err = tr.Update(k, old+1)
+					}
+				}
+				lat[i] = time.Since(t0)
+				if err != nil {
+					errs[t] = err
+					return
+				}
+			}
+			lats[t] = lat
+		}(t)
+	}
+	wg.Wait()
+	total := time.Since(start)
+	d := reg.Snapshot().Sub(before)
+	for _, err := range errs {
+		if err != nil {
+			return JSONWorkloadResult{}, err
+		}
+	}
+
+	merged := make([]time.Duration, 0, totalOps)
+	for _, lat := range lats {
+		merged = append(merged, lat...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	pct := func(p float64) int64 {
+		return merged[int(p*float64(len(merged)-1))].Nanoseconds()
+	}
+	return JSONWorkloadResult{
+		Tree:         "FPTreeC",
+		Workload:     "ycsb-" + strings.ToLower(mix.name),
+		Ops:          totalOps,
+		OpsPerSec:    float64(totalOps) / total.Seconds(),
+		P50NS:        pct(0.50),
+		P99NS:        pct(0.99),
+		FlushesPerOp: d.PerOp("scm_flushes_total", totalOps),
+		FencesPerOp:  d.PerOp("scm_fences_total", totalOps),
+		Threads:      cfg.Threads,
+		KeyDist:      mix.dist,
+	}, nil
+}
+
+// ycsbScan drives the resumable iterator for up to n entries from start,
+// verifying every emitted value is canonical (workload E never updates, so
+// a mismatch means the iterator surfaced a torn or stale pair).
+func ycsbScan(tr *core.CTree, start uint64, n int) error {
+	it := tr.Iterator(start, 0)
+	defer it.Close()
+	for i := 0; i < n && it.Valid(); i++ {
+		if k, v := it.Key(), it.Value(); v != ycsbVal(k) {
+			return fmt.Errorf("scan: key %d carries %d, canonical is %d", k, v, ycsbVal(k))
+		}
+		it.Next()
+	}
+	return nil
+}

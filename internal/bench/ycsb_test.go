@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestYCSBChooserRanges(t *testing.T) {
+	var count atomic.Uint64
+	count.Store(1000)
+	for _, dist := range []string{"zipfian", "latest", "uniform"} {
+		c := newYCSBChooser(1, dist, 2000, &count)
+		for i := 0; i < 5000; i++ {
+			if idx := c.pick(); idx >= count.Load() {
+				t.Fatalf("%s: picked index %d with only %d records", dist, idx, count.Load())
+			}
+		}
+	}
+	// latest must actually skew to recent indices.
+	c := newYCSBChooser(2, "latest", 2000, &count)
+	recent := 0
+	for i := 0; i < 2000; i++ {
+		if c.pick() >= 900 {
+			recent++
+		}
+	}
+	if recent < 1200 {
+		t.Fatalf("latest chooser picked only %d/2000 from the newest 10%%", recent)
+	}
+}
+
+func TestYCSBKeyInjective(t *testing.T) {
+	seen := make(map[uint64]bool, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		k := ycsbKey(i)
+		if seen[k] {
+			t.Fatalf("ycsbKey collision at index %d", i)
+		}
+		seen[k] = true
+	}
+}
+
+func TestYCSBBenchAllWorkloads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ycsb.json")
+	cfg := YCSBConfig{
+		Records:  2000,
+		Ops:      2000,
+		Threads:  2,
+		ScanLen:  50,
+		Seed:     1,
+		JSONPath: path,
+	}
+	var out bytes.Buffer
+	if err := YCSBBench(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateReport(data); err != nil {
+		t.Fatalf("YCSB report fails -check-json validation: %v", err)
+	}
+	for _, wl := range []string{"ycsb-a", "ycsb-b", "ycsb-c", "ycsb-d", "ycsb-e", "ycsb-f"} {
+		if !strings.Contains(string(data), `"workload": "`+wl+`"`) {
+			t.Fatalf("report missing %s:\n%s", wl, data)
+		}
+	}
+	if !strings.Contains(string(data), `"key_dist": "latest"`) {
+		t.Fatalf("report missing latest key_dist:\n%s", data)
+	}
+}
+
+func TestYCSBBenchRejectsUnknownWorkload(t *testing.T) {
+	var out bytes.Buffer
+	err := YCSBBench(&out, YCSBConfig{Workloads: []string{"Z"}, Records: 10, Ops: 10})
+	if err == nil || !strings.Contains(err.Error(), "unknown YCSB workload") {
+		t.Fatalf("want unknown-workload error, got %v", err)
+	}
+}
+
+// Old reports (no threads/key_dist fields) must keep validating.
+func TestValidateReportAcceptsOldSchema(t *testing.T) {
+	old := []byte(`{
+  "generated_at": "2026-01-01T00:00:00Z",
+  "go_version": "go1.23.0",
+  "goos": "linux",
+  "goarch": "amd64",
+  "num_cpu": 1,
+  "warm_keys": 1000,
+  "results": [
+    {"tree": "FPTree", "workload": "insert", "ops": 10, "ops_per_sec": 5.0,
+     "p50_ns": 1, "p99_ns": 2, "flushes_per_op": 1.5, "fences_per_op": 1.0}
+  ]
+}`)
+	if err := ValidateReport(old); err != nil {
+		t.Fatalf("old-schema report rejected: %v", err)
+	}
+}

@@ -42,6 +42,7 @@ func (e *engine[K, V]) bulkLoad(n int, fill float64, at func(int) (K, V)) error 
 	if fill <= 0 || fill > 1 {
 		return fmt.Errorf("fptree: fill factor %v out of (0,1]", fill)
 	}
+	e.noteMutation()
 	for i := 0; i < n; i++ {
 		k, _ := at(i)
 		if err := e.cdc.validateKey(k); err != nil {

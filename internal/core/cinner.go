@@ -37,6 +37,11 @@ type leafRef struct {
 	off  uint64
 	lk   htm.RWSpin
 	dead atomic.Bool
+	// ver counts completed exclusive sections on this leaf. The concurrent
+	// controller bumps it before releasing the write lock, so an iterator that
+	// cached the leaf's content under the shared lock can later prove the
+	// cache is still current (see Iter.leafLive) without re-reading SCM.
+	ver atomic.Uint64
 }
 
 func newCInner[K any](capacity int, leafParent bool) *cInner[K] {

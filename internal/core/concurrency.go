@@ -62,4 +62,14 @@ func (occCC) tryRLockLeaf(r *leafRef) bool               { return r.lk.TryRLock(
 func (occCC) rUnlockLeaf(r *leafRef)                     { r.lk.RUnlock() }
 func (occCC) tryLockLeaf(r *leafRef) bool                { return r.lk.TryLock() }
 func (occCC) lockLeaf(r *leafRef)                        { r.lk.Lock() }
-func (occCC) unlockLeaf(r *leafRef)                      { r.lk.Unlock() }
+// unlockLeaf bumps the leaf's modification version BEFORE releasing the
+// exclusive lock. The order matters: an iterator validates "version
+// unchanged" after caching content read under the shared lock, and the
+// shared lock cannot be held while a writer holds the exclusive one — so an
+// unchanged version proves the cached content is still current. Bumping
+// after the unlock would open a window where changed content still carries
+// the old version.
+func (occCC) unlockLeaf(r *leafRef) {
+	r.ver.Add(1)
+	r.lk.Unlock()
+}

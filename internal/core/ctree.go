@@ -52,12 +52,34 @@ func (t *CTree) Scan(from uint64, fn func(KV) bool) {
 	t.engine.scan(from, func(k, v uint64) bool { return fn(KV{k, v}) })
 }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0). The result
+// is pre-sized to min(n, Len()), so a large n does not over-allocate.
 func (t *CTree) ScanN(from uint64, n int) []KV {
-	out := make([]KV, 0, n)
+	out := make([]KV, 0, scanNCap(n, t.Len()))
+	if n <= 0 {
+		return nil
+	}
 	t.Scan(from, func(kv KV) bool {
 		out = append(out, kv)
 		return len(out) < n
 	})
 	return out
+}
+
+// Iterator returns a resumable ascending iterator over [start, end); end == 0
+// means unbounded. Safe to advance while other goroutines mutate the tree:
+// each step revalidates the cached leaf's version and re-seeks from the last
+// returned key on conflict. See Iter for the exact guarantees.
+func (t *CTree) Iterator(start, end uint64) *FixedIterator {
+	s, e := fixedIterBounds(start, end)
+	return t.engine.iterator(s, e, false)
+}
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// positioned on the greatest key below end (end == 0: the maximum key).
+// Reverse steps re-seek through the inner index — the leaf list only links
+// forward — so reverse iteration costs one descent per leaf.
+func (t *CTree) ReverseIterator(start, end uint64) *FixedIterator {
+	s, e := fixedIterBounds(start, end)
+	return t.engine.iterator(s, e, true)
 }

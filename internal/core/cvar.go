@@ -38,12 +38,29 @@ func (t *CVarTree) Scan(from []byte, fn func(VarKV) bool) {
 	t.engine.scan(from, func(k, v []byte) bool { return fn(VarKV{k, v}) })
 }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0). The result
+// is pre-sized to min(n, Len()), so a large n does not over-allocate.
 func (t *CVarTree) ScanN(from []byte, n int) []VarKV {
-	out := make([]VarKV, 0, n)
+	out := make([]VarKV, 0, scanNCap(n, t.Len()))
+	if n <= 0 {
+		return nil
+	}
 	t.Scan(from, func(kv VarKV) bool {
 		out = append(out, kv)
 		return len(out) < n
 	})
 	return out
+}
+
+// Iterator returns a resumable ascending iterator over [start, end) in
+// bytewise key order; a nil edge means unbounded. Safe to advance while
+// other goroutines mutate the tree; see Iter for the exact guarantees.
+func (t *CVarTree) Iterator(start, end []byte) *VarIterator {
+	return t.engine.iterator(varIterBound(start), varIterBound(end), false)
+}
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// positioned on the greatest key below end (nil end: the maximum key).
+func (t *CVarTree) ReverseIterator(start, end []byte) *VarIterator {
+	return t.engine.iterator(varIterBound(start), varIterBound(end), true)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"slices"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,13 @@ type engine[K, V any] struct {
 	groups     groupAlloc // leaf-group management (single-threaded only)
 	recovering bool       // true while micro-logs are being replayed
 	recWorkers int        // leaf-scan goroutines during recovery (>= 1)
+
+	// mut counts mutating operations on the single-threaded engines, where
+	// leaf handles carry no usable version (the no-op controller never bumps
+	// them). Iterators snapshot it to detect that anything at all changed
+	// between steps and fall back to a re-seek from the cursor. Plain int:
+	// the single-threaded trees are not safe for concurrent use by contract.
+	mut uint64
 
 	// Probes tracks in-leaf search work for the Figure 4 experiment. The
 	// fields are plain integers and only maintained by the single-threaded
@@ -338,6 +346,15 @@ func (e *engine[K, V]) descend(key K) (n *cInner[K], ver uint64, idx int, ref *l
 	}
 }
 
+// noteMutation invalidates resting single-threaded iterators (conservative:
+// an Update/Delete that ends up a no-op still bumps, which only costs those
+// iterators one redundant re-seek).
+func (e *engine[K, V]) noteMutation() {
+	if e.st {
+		e.mut++
+	}
+}
+
 func (e *engine[K, V]) abort() {
 	e.pool.PanicIfCrashed()
 	e.Stats.Aborts.Add(1)
@@ -401,6 +418,7 @@ func (e *engine[K, V]) Insert(key K, value V) error {
 	if err := e.cdc.validateKey(key); err != nil {
 		return err
 	}
+	e.noteMutation()
 	for {
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -620,6 +638,7 @@ func (e *engine[K, V]) insertSMO(splitKey K, oldRef, newRef *leafRef) {
 // the removal of the old slot and the insertion of the new one commit with
 // one p-atomic bitmap write. Returns false if the key is absent.
 func (e *engine[K, V]) Update(key K, value V) (bool, error) {
+	e.noteMutation()
 	for {
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -689,6 +708,7 @@ func (e *engine[K, V]) Upsert(key K, value V) error {
 // the leaf is the list head) — the cross-subtree neighbor hunt is not worth
 // its locks, so the empty leaf stays linked and recovery reclaims it.
 func (e *engine[K, V]) Delete(key K) (bool, error) {
+	e.noteMutation()
 	for {
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -928,13 +948,29 @@ type kvPair[K, V any] struct {
 	v V
 }
 
+// sortPairs orders a leaf batch ascending. slices.SortFunc compiles to a
+// monomorphic sort (sort.Slice reflects on every swap and allocates its
+// closure header per leaf — measurable on scan-heavy workloads).
+func (e *engine[K, V]) sortPairs(batch []kvPair[K, V]) {
+	less := e.cdc.less
+	slices.SortFunc(batch, func(a, b kvPair[K, V]) int {
+		switch {
+		case less(a.k, b.k):
+			return -1
+		case less(b.k, a.k):
+			return 1
+		}
+		return 0
+	})
+}
+
 func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
 	ref := e.findLeafRef(from)
 	if ref == nil {
 		return
 	}
 	leaf := ref.off
-	var batch []kvPair[K, V]
+	batch := make([]kvPair[K, V], 0, e.sh.cap)
 	for {
 		bm := e.leafBitmap(leaf)
 		batch = batch[:0]
@@ -947,7 +983,7 @@ func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
 				batch = append(batch, kvPair[K, V]{k, e.cdc.slotValue(leaf, s)})
 			}
 		}
-		sort.Slice(batch, func(i, j int) bool { return e.cdc.less(batch[i].k, batch[j].k) })
+		e.sortPairs(batch)
 		for _, kv := range batch {
 			if !fn(kv.k, kv.v) {
 				return
@@ -963,7 +999,7 @@ func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
 
 func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
 	cur := from
-	var batch []kvPair[K, V]
+	batch := make([]kvPair[K, V], 0, e.sh.cap)
 	for {
 		batch = batch[:0]
 		var ub K
@@ -1000,7 +1036,7 @@ func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
 			e.abort()
 			continue
 		}
-		sort.Slice(batch, func(i, j int) bool { return e.cdc.less(batch[i].k, batch[j].k) })
+		e.sortPairs(batch)
 		for _, kv := range batch {
 			if !fn(kv.k, kv.v) {
 				return

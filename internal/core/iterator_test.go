@@ -1,0 +1,638 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"fptree/internal/scm"
+)
+
+// fixedIterTree is the surface the fixed-key iterator tests drive, satisfied
+// by both *Tree and *CTree (edge-domain behavior must be identical across
+// concurrency controllers when used from a single goroutine).
+type fixedIterTree interface {
+	Insert(k, v uint64) error
+	Delete(k uint64) (bool, error)
+	Update(k, v uint64) (bool, error)
+	Iterator(start, end uint64) *FixedIterator
+	ReverseIterator(start, end uint64) *FixedIterator
+	Len() int
+}
+
+type varIterTree interface {
+	Insert(k, v []byte) error
+	Delete(k []byte) (bool, error)
+	Iterator(start, end []byte) *VarIterator
+	ReverseIterator(start, end []byte) *VarIterator
+	Len() int
+}
+
+// newFixedIterTree builds a small-leaf tree so a few dozen keys span many
+// leaves and iterator stepping is actually exercised.
+func newFixedIterTree(t *testing.T, concurrent bool) fixedIterTree {
+	t.Helper()
+	pool := newPool(16)
+	if concurrent {
+		tr, err := CCreate(pool, Config{LeafCap: 8, InnerFanout: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func newVarIterTree(t *testing.T, concurrent bool) varIterTree {
+	t.Helper()
+	pool := newPool(16)
+	if concurrent {
+		tr, err := CCreateVar(pool, Config{LeafCap: 8, InnerFanout: 4, ValueSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr, err := CreateVar(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4, ValueSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func val8(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// collectFixed drains an iterator, checking that every value matches k*10.
+func collectFixed(t *testing.T, it *FixedIterator) []uint64 {
+	t.Helper()
+	defer it.Close()
+	var got []uint64
+	for ; it.Valid(); it.Next() {
+		if it.Value() != it.Key()*10 {
+			t.Fatalf("key %d carries value %d, want %d", it.Key(), it.Value(), it.Key()*10)
+		}
+		got = append(got, it.Key())
+	}
+	if it.Next() {
+		t.Fatal("Next on an exhausted iterator reported true")
+	}
+	return got
+}
+
+func collectVar(t *testing.T, it *VarIterator) []string {
+	t.Helper()
+	defer it.Close()
+	var got []string
+	for ; it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	return got
+}
+
+func eqU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqStr(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIteratorDomainsFixed covers the edge windows of the issue checklist on
+// both controllers: empty tree, start == end, start past the max key,
+// reverse from the unbounded end, and interior windows whose edges do and do
+// not coincide with stored keys.
+func TestIteratorDomainsFixed(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := map[bool]string{false: "st", true: "occ"}[concurrent]
+		t.Run(name, func(t *testing.T) {
+			tr := newFixedIterTree(t, concurrent)
+
+			// Empty tree: nothing in any window, forward or reverse.
+			if it := tr.Iterator(0, 0); it.Valid() {
+				t.Fatal("iterator over empty tree is Valid")
+			}
+			if it := tr.ReverseIterator(0, 0); it.Valid() {
+				t.Fatal("reverse iterator over empty tree is Valid")
+			}
+
+			// Keys 10, 20, ..., 400: several leaves at LeafCap 8.
+			var keys []uint64
+			for k := uint64(10); k <= 400; k += 10 {
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, k)
+			}
+			rev := make([]uint64, len(keys))
+			for i, k := range keys {
+				rev[len(keys)-1-i] = k
+			}
+
+			// Full range, both directions.
+			if got := collectFixed(t, tr.Iterator(0, 0)); !eqU64(got, keys) {
+				t.Fatalf("full forward: got %v want %v", got, keys)
+			}
+			if got := collectFixed(t, tr.ReverseIterator(0, 0)); !eqU64(got, rev) {
+				t.Fatalf("full reverse: got %v want %v", got, rev)
+			}
+
+			// start == end is empty by [start, end) definition.
+			if it := tr.Iterator(50, 50); it.Valid() {
+				t.Fatal("start == end window is non-empty")
+			}
+			if it := tr.ReverseIterator(50, 50); it.Valid() {
+				t.Fatal("reverse start == end window is non-empty")
+			}
+			// Inverted window likewise.
+			if it := tr.Iterator(60, 50); it.Valid() {
+				t.Fatal("inverted window is non-empty")
+			}
+
+			// start past the max key.
+			if it := tr.Iterator(401, 0); it.Valid() {
+				t.Fatalf("start past max: got key %d", it.Key())
+			}
+			if it := tr.ReverseIterator(401, 0); it.Valid() {
+				t.Fatalf("reverse window above max: got key %d", it.Key())
+			}
+
+			// Interior window [35, 205): exclusive end, inclusive start, edges
+			// between keys.
+			want := []uint64{40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+			if got := collectFixed(t, tr.Iterator(35, 205)); !eqU64(got, want) {
+				t.Fatalf("window [35,205): got %v want %v", got, want)
+			}
+			// Edges on stored keys: start inclusive, end exclusive.
+			want = []uint64{40, 50, 60, 70, 80, 90, 100, 110, 120, 130, 140, 150, 160, 170, 180, 190}
+			if got := collectFixed(t, tr.Iterator(40, 200)); !eqU64(got, want) {
+				t.Fatalf("window [40,200): got %v want %v", got, want)
+			}
+			wantRev := make([]uint64, len(want))
+			for i, k := range want {
+				wantRev[len(want)-1-i] = k
+			}
+			if got := collectFixed(t, tr.ReverseIterator(40, 200)); !eqU64(got, wantRev) {
+				t.Fatalf("reverse window [40,200): got %v want %v", got, wantRev)
+			}
+
+			// Reverse with bounded start, unbounded end.
+			want = nil
+			for k := uint64(400); k >= 380; k -= 10 {
+				want = append(want, k)
+			}
+			if got := collectFixed(t, tr.ReverseIterator(380, 0)); !eqU64(got, want) {
+				t.Fatalf("reverse [380,∞): got %v want %v", got, want)
+			}
+
+			// Max-key edge: fixed keys at the top of the u64 range must not
+			// wrap during forward stepping (nextAfter saturates).
+			top := ^uint64(0)
+			for _, k := range []uint64{top, top - 1, top - 2} {
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := collectFixed(t, tr.Iterator(top-2, 0)); !eqU64(got, []uint64{top - 2, top - 1, top}) {
+				t.Fatalf("top-of-range window: got %v", got)
+			}
+		})
+	}
+}
+
+// TestIteratorDomainsVar mirrors the edge-domain checks for byte-string keys
+// (nil edges mean unbounded) on both controllers.
+func TestIteratorDomainsVar(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := map[bool]string{false: "st", true: "occ"}[concurrent]
+		t.Run(name, func(t *testing.T) {
+			tr := newVarIterTree(t, concurrent)
+
+			if it := tr.Iterator(nil, nil); it.Valid() {
+				t.Fatal("iterator over empty tree is Valid")
+			}
+			if it := tr.ReverseIterator(nil, nil); it.Valid() {
+				t.Fatal("reverse iterator over empty tree is Valid")
+			}
+
+			var keys []string
+			for i := 0; i < 40; i++ {
+				k := fmt.Sprintf("key-%03d", i)
+				if err := tr.Insert([]byte(k), val8(uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+				keys = append(keys, k)
+			}
+			rev := make([]string, len(keys))
+			for i, k := range keys {
+				rev[len(keys)-1-i] = k
+			}
+
+			if got := collectVar(t, tr.Iterator(nil, nil)); !eqStr(got, keys) {
+				t.Fatalf("full forward: got %v want %v", got, keys)
+			}
+			if got := collectVar(t, tr.ReverseIterator(nil, nil)); !eqStr(got, rev) {
+				t.Fatalf("full reverse: got %v want %v", got, rev)
+			}
+
+			if it := tr.Iterator([]byte("key-010"), []byte("key-010")); it.Valid() {
+				t.Fatal("start == end window is non-empty")
+			}
+			if it := tr.Iterator([]byte("zzz"), nil); it.Valid() {
+				t.Fatalf("start past max: got %q", it.Key())
+			}
+
+			// [key-005, key-009): end exclusive.
+			want := []string{"key-005", "key-006", "key-007", "key-008"}
+			if got := collectVar(t, tr.Iterator([]byte("key-005"), []byte("key-009"))); !eqStr(got, want) {
+				t.Fatalf("window: got %v want %v", got, want)
+			}
+			wantRev := []string{"key-008", "key-007", "key-006", "key-005"}
+			if got := collectVar(t, tr.ReverseIterator([]byte("key-005"), []byte("key-009"))); !eqStr(got, wantRev) {
+				t.Fatalf("reverse window: got %v want %v", got, wantRev)
+			}
+
+			// Reverse from nil end with bounded start.
+			if got := collectVar(t, tr.ReverseIterator([]byte("key-037"), nil)); !eqStr(got, []string{"key-039", "key-038", "key-037"}) {
+				t.Fatalf("reverse [key-037,∞): got %v", got)
+			}
+
+			// The iterator must not alias the caller's edge slices.
+			edge := []byte("key-005")
+			it := tr.Iterator(edge, nil)
+			edge[4] = '9'
+			if !it.Valid() || string(it.Key()) != "key-005" {
+				t.Fatalf("mutating the caller's edge slice moved the window: at %q", it.Key())
+			}
+			it.Close()
+		})
+	}
+}
+
+// TestIteratorSplitMidIteration parks an iterator on a leaf, splits that
+// leaf underneath it, and checks the continuation: nothing ahead of the
+// cursor is skipped or double-emitted, including the newly inserted keys.
+func TestIteratorSplitMidIteration(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := map[bool]string{false: "st", true: "occ"}[concurrent]
+		t.Run(name, func(t *testing.T) {
+			tr := newFixedIterTree(t, concurrent)
+			for k := uint64(10); k <= 80; k += 10 { // exactly one full leaf (cap 8)
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			it := tr.Iterator(0, 0)
+			if !it.Valid() || it.Key() != 10 {
+				t.Fatalf("positioned at %d, want 10", it.Key())
+			}
+			if !it.Next() || it.Key() != 20 {
+				t.Fatalf("second key %d, want 20", it.Key())
+			}
+			// Split the leaf the iterator is parked on.
+			for _, k := range []uint64{11, 12, 13, 14, 15} {
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Everything live and > 20 must now appear, in order.
+			want := []uint64{30, 40, 50, 60, 70, 80}
+			var got []uint64
+			for it.Next() {
+				got = append(got, it.Key())
+			}
+			it.Close()
+			if !eqU64(got, want) {
+				t.Fatalf("continuation after split: got %v want %v", got, want)
+			}
+
+			// Reverse flavor: park at 80, 70 then split again below the cursor.
+			rit := tr.ReverseIterator(0, 0)
+			if !rit.Valid() || rit.Key() != 80 {
+				t.Fatalf("reverse positioned at %d, want 80", rit.Key())
+			}
+			if !rit.Next() || rit.Key() != 70 {
+				t.Fatalf("reverse second key %d, want 70", rit.Key())
+			}
+			for _, k := range []uint64{41, 42, 43} {
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want = []uint64{60, 50, 43, 42, 41, 40, 30, 20, 15, 14, 13, 12, 11, 10}
+			got = nil
+			for rit.Next() {
+				got = append(got, rit.Key())
+			}
+			rit.Close()
+			if !eqU64(got, want) {
+				t.Fatalf("reverse continuation after split: got %v want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestIteratorDeleteMidIteration deletes keys — including a whole leaf,
+// which unlinks it (single-threaded) or marks its handle dead (concurrent) —
+// while an iterator is parked on or before it.
+func TestIteratorDeleteMidIteration(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		name := map[bool]string{false: "st", true: "occ"}[concurrent]
+		t.Run(name, func(t *testing.T) {
+			tr := newFixedIterTree(t, concurrent)
+			for k := uint64(10); k <= 320; k += 10 { // four full leaves
+				if err := tr.Insert(k, k*10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			it := tr.Iterator(0, 0)
+			if !it.Next() || it.Key() != 20 {
+				t.Fatalf("at %d, want 20", it.Key())
+			}
+			// Delete the entire second leaf (keys 90..160) plus a key on the
+			// iterator's current leaf ahead of the cursor.
+			for k := uint64(90); k <= 160; k += 10 {
+				if ok, err := tr.Delete(k); err != nil || !ok {
+					t.Fatalf("delete %d: %v %v", k, ok, err)
+				}
+			}
+			if ok, err := tr.Delete(40); err != nil || !ok {
+				t.Fatalf("delete 40: %v %v", ok, err)
+			}
+			var got []uint64
+			for it.Next() {
+				got = append(got, it.Key())
+			}
+			it.Close()
+			var want []uint64
+			for k := uint64(30); k <= 320; k += 10 {
+				if k == 40 || (k >= 90 && k <= 160) {
+					continue
+				}
+				want = append(want, k)
+			}
+			if !eqU64(got, want) {
+				t.Fatalf("continuation after deletes: got %v want %v", got, want)
+			}
+
+			// Reverse: park above a leaf, delete it, continue down.
+			rit := tr.ReverseIterator(0, 0)
+			if !rit.Valid() || rit.Key() != 320 {
+				t.Fatalf("reverse at %d, want 320", rit.Key())
+			}
+			for k := uint64(170); k <= 240; k += 10 {
+				if ok, err := tr.Delete(k); err != nil || !ok {
+					t.Fatalf("delete %d: %v %v", k, ok, err)
+				}
+			}
+			want = nil
+			for k := uint64(310); k >= 10; k -= 10 {
+				if k == 40 || (k >= 90 && k <= 240) {
+					continue
+				}
+				want = append(want, k)
+			}
+			got = nil
+			for rit.Next() {
+				got = append(got, rit.Key())
+			}
+			rit.Close()
+			if !eqU64(got, want) {
+				t.Fatalf("reverse continuation after leaf delete: got %v want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestIteratorUpdateMidIteration checks that an update behind the cursor is
+// invisible and one ahead of the cursor is observed exactly once with the
+// new value.
+func TestIteratorUpdateMidIteration(t *testing.T) {
+	tr := newFixedIterTree(t, false)
+	for k := uint64(10); k <= 160; k += 10 {
+		if err := tr.Insert(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := tr.Iterator(0, 0)
+	it.Next() // at 20
+	if ok, err := tr.Update(10, 1); err != nil || !ok {
+		t.Fatal("update 10")
+	}
+	if ok, err := tr.Update(30, 999); err != nil || !ok {
+		t.Fatal("update 30")
+	}
+	if !it.Next() || it.Key() != 30 || it.Value() != 999 {
+		t.Fatalf("after update: key %d value %d, want 30/999", it.Key(), it.Value())
+	}
+	n := 1
+	for it.Next() {
+		n++
+	}
+	it.Close()
+	if n != 14 { // 30..160
+		t.Fatalf("emitted %d keys after cursor 20, want 14", n)
+	}
+}
+
+// TestIteratorFileBackedRecovery is the recovery-interplay check of the
+// issue: build a tree in a real arena file, crash it mid-operation
+// (injected persist failure + abandoned mmap, the kill -9 shape), reopen
+// the file, and verify full forward and reverse iteration matches the map
+// oracle byte-for-byte.
+func TestIteratorFileBackedRecovery(t *testing.T) {
+	t.Run("fixed", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "arena.fpt")
+		pool, recovered, err := scm.OpenFile(path, 16<<20, scm.LatencyConfig{CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recovered {
+			t.Fatal("fresh arena file reported recovered")
+		}
+		tr, err := Create(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[uint64]uint64{}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 600; i++ {
+			k := uint64(rng.Intn(200)) + 1
+			if rng.Intn(4) == 0 {
+				if _, err := tr.Delete(k); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, k)
+			} else {
+				if err := tr.Upsert(k, k*7); err != nil {
+					t.Fatal(err)
+				}
+				oracle[k] = k * 7
+			}
+		}
+		// Crash during an insert of a brand-new key: after recovery the key
+		// is either fully present or fully absent (p-atomic bitmap commit).
+		const inflight = uint64(100000)
+		pool.FailAfterFlushes(2)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("injected crash did not fire")
+				}
+			}()
+			_ = tr.Insert(inflight, inflight*7)
+		}()
+		// Abandon the mmap without Close: kill -9 semantics.
+		pool2, recovered, err := scm.OpenFile(path, 0, scm.LatencyConfig{CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recovered {
+			t.Fatal("arena abandoned without Close reported clean")
+		}
+		tr2, err := Open(pool2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tr2.Find(inflight); ok {
+			oracle[inflight] = inflight * 7
+		}
+		var want []uint64
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		for it := tr2.Iterator(0, 0); it.Valid(); it.Next() {
+			if it.Value() != oracle[it.Key()] {
+				t.Fatalf("key %d: value %d, oracle %d", it.Key(), it.Value(), oracle[it.Key()])
+			}
+			got = append(got, it.Key())
+		}
+		if !eqU64(got, want) {
+			t.Fatalf("forward iteration after file recovery: got %d keys, want %d", len(got), len(want))
+		}
+		got = nil
+		for it := tr2.ReverseIterator(0, 0); it.Valid(); it.Next() {
+			got = append(got, it.Key())
+		}
+		for i, j := 0, len(got)-1; i < j; i, j = i+1, j-1 {
+			got[i], got[j] = got[j], got[i]
+		}
+		if !eqU64(got, want) {
+			t.Fatalf("reverse iteration after file recovery: got %d keys, want %d", len(got), len(want))
+		}
+		pool2.Close()
+	})
+
+	t.Run("var", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "arena.fpt")
+		pool, _, err := scm.OpenFile(path, 16<<20, scm.LatencyConfig{CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := CreateVar(pool, Config{LeafCap: 8, InnerFanout: 4, GroupSize: 4, ValueSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := map[string]uint64{}
+		rng := rand.New(rand.NewSource(43))
+		for i := 0; i < 400; i++ {
+			k := fmt.Sprintf("k%04d", rng.Intn(120))
+			if rng.Intn(4) == 0 {
+				if _, err := tr.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+				delete(oracle, k)
+			} else {
+				if err := tr.Upsert([]byte(k), val8(uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+				oracle[k] = uint64(i)
+			}
+		}
+		const inflight = "zzz-inflight"
+		pool.FailAfterFlushes(3)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("injected crash did not fire")
+				}
+			}()
+			_ = tr.Insert([]byte(inflight), val8(1))
+		}()
+		pool2, recovered, err := scm.OpenFile(path, 0, scm.LatencyConfig{CacheBytes: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !recovered {
+			t.Fatal("arena abandoned without Close reported clean")
+		}
+		tr2, err := OpenVar(pool2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr2.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tr2.Find([]byte(inflight)); ok {
+			oracle[inflight] = 1
+		}
+		var want []string
+		for k := range oracle {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		for it := tr2.Iterator(nil, nil); it.Valid(); it.Next() {
+			if !bytes.Equal(it.Value(), val8(oracle[string(it.Key())])) {
+				t.Fatalf("key %q: value %x, oracle %x", it.Key(), it.Value(), val8(oracle[string(it.Key())]))
+			}
+			got = append(got, string(it.Key()))
+		}
+		if !eqStr(got, want) {
+			t.Fatalf("forward iteration after file recovery: got %d keys, want %d", len(got), len(want))
+		}
+		got = nil
+		for it := tr2.ReverseIterator(nil, nil); it.Valid(); it.Next() {
+			got = append(got, string(it.Key()))
+		}
+		for i, j := 0, len(got)-1; i < j; i, j = i+1, j-1 {
+			got[i], got[j] = got[j], got[i]
+		}
+		if !eqStr(got, want) {
+			t.Fatalf("reverse iteration after file recovery: got %d keys, want %d", len(got), len(want))
+		}
+		pool2.Close()
+	})
+}

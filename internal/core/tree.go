@@ -60,12 +60,31 @@ func (t *Tree) Scan(from uint64, fn func(KV) bool) {
 	t.engine.scan(from, func(k, v uint64) bool { return fn(KV{k, v}) })
 }
 
-// ScanN returns up to n pairs with key >= from.
+// ScanN returns up to n pairs with key >= from (nil when n <= 0). The result
+// is pre-sized to min(n, Len()), so a large n does not over-allocate.
 func (t *Tree) ScanN(from uint64, n int) []KV {
-	out := make([]KV, 0, n)
+	out := make([]KV, 0, scanNCap(n, t.Len()))
+	if n <= 0 {
+		return nil
+	}
 	t.Scan(from, func(kv KV) bool {
 		out = append(out, kv)
 		return len(out) < n
 	})
 	return out
+}
+
+// Iterator returns a resumable ascending iterator over the window
+// [start, end); end == 0 means unbounded. The iterator is created positioned
+// on the window's first key (check Valid); Close it when done.
+func (t *Tree) Iterator(start, end uint64) *FixedIterator {
+	s, e := fixedIterBounds(start, end)
+	return t.engine.iterator(s, e, false)
+}
+
+// ReverseIterator returns a resumable descending iterator over [start, end),
+// positioned on the greatest key below end (end == 0: the maximum key).
+func (t *Tree) ReverseIterator(start, end uint64) *FixedIterator {
+	s, e := fixedIterBounds(start, end)
+	return t.engine.iterator(s, e, true)
 }

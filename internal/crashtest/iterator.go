@@ -1,0 +1,327 @@
+package crashtest
+
+// Iterator checkers: the differential layer for the resumable range
+// iterators of the core trees. Two strengths are offered, matching the two
+// guarantees the iterators make.
+//
+// CheckIterFixed/CheckIterVar verify the EXACT single-threaded contract:
+// with no concurrent writers (mutations happen only between steps, through
+// the mutate callback), every step must return precisely the first live
+// in-window key past the cursor — the iterator behaves as if it re-read the
+// tree at each step. This is also the contract a concurrent tree's iterator
+// honors when driven from one goroutine.
+//
+// CheckIterStableFixed/CheckIterStableVar verify the concurrent contract
+// under live mutators: with the key space split into stable keys (never
+// touched during the session) and volatile keys (churned concurrently, but
+// always carrying their canonical value when present), the emission must be
+// strictly monotonic inside the window, every stable in-window key must
+// appear exactly once, every emitted key must carry its canonical value,
+// and every volatile emission must be a plausible key. Skipping or
+// double-emitting a stable key — the linearizability-per-step property the
+// iterator claims — is reported with the offending step.
+//
+// Like the rest of this package's exported surface, only scm/htm/stdlib are
+// imported, so tree packages' own tests can use these checkers too.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// FixedIter is the iterator surface the fixed-key checkers drive; it matches
+// core.FixedIterator.
+type FixedIter interface {
+	Valid() bool
+	Next() bool
+	Key() uint64
+	Value() uint64
+	Close()
+}
+
+// VarIter matches core.VarIterator.
+type VarIter interface {
+	Valid() bool
+	Next() bool
+	Key() []byte
+	Value() []byte
+	Close()
+}
+
+// fixedInWindow reports whether k lies in [start, end) under the fixed-key
+// convention (end == 0 means unbounded).
+func fixedInWindow(k, start, end uint64) bool {
+	return k >= start && (end == 0 || k < end)
+}
+
+// varInWindow is the byte-string counterpart (nil edges are unbounded).
+func varInWindow(k, start, end []byte) bool {
+	if len(start) > 0 && bytes.Compare(k, start) < 0 {
+		return false
+	}
+	return len(end) == 0 || bytes.Compare(k, end) < 0
+}
+
+// CheckIterFixed drives it to exhaustion against the exact oracle. live must
+// return the CURRENT live pairs sorted ascending by key; mutate (optional)
+// runs after each emission and may mutate both the tree and whatever backs
+// live. start/end bound the window with end == 0 meaning unbounded; reverse
+// selects descending iteration. Returns the number of keys emitted.
+func CheckIterFixed(it FixedIter, live func() []FixedKV, start, end uint64, reverse bool, mutate func(step int)) (int, error) {
+	defer it.Close()
+	var cur uint64
+	curSet := false
+	steps := 0
+	for {
+		want, wantV, ok := nextExpectedFixed(live(), start, end, reverse, cur, curSet)
+		if !it.Valid() {
+			if ok {
+				return steps, fmt.Errorf("step %d: iterator exhausted but key %d is live in the window", steps, want)
+			}
+			if it.Next() {
+				return steps, fmt.Errorf("step %d: Next on exhausted iterator returned true", steps)
+			}
+			return steps, nil
+		}
+		if !ok {
+			return steps, fmt.Errorf("step %d: emitted %d but no live key remains past cursor", steps, it.Key())
+		}
+		if it.Key() != want {
+			return steps, fmt.Errorf("step %d: emitted key %d, oracle expects %d", steps, it.Key(), want)
+		}
+		if it.Value() != wantV {
+			return steps, fmt.Errorf("step %d: key %d carries value %d, oracle has %d", steps, want, it.Value(), wantV)
+		}
+		cur, curSet = want, true
+		steps++
+		if mutate != nil {
+			mutate(steps)
+		}
+		it.Next()
+	}
+}
+
+// nextExpectedFixed returns the first live key the iterator must emit next:
+// the smallest (or, reversed, greatest) in-window key strictly past the
+// cursor. sorted is ascending.
+func nextExpectedFixed(sorted []FixedKV, start, end uint64, reverse bool, cur uint64, curSet bool) (uint64, uint64, bool) {
+	if !reverse {
+		i := sort.Search(len(sorted), func(i int) bool {
+			if sorted[i].K < start {
+				return false
+			}
+			return !curSet || sorted[i].K > cur
+		})
+		if i == len(sorted) || !fixedInWindow(sorted[i].K, start, end) {
+			return 0, 0, false
+		}
+		return sorted[i].K, sorted[i].V, true
+	}
+	// Greatest key below the cursor (or below end / at the top when unset).
+	i := sort.Search(len(sorted), func(i int) bool {
+		if curSet && sorted[i].K >= cur {
+			return true
+		}
+		return !curSet && end != 0 && sorted[i].K >= end
+	})
+	if i == 0 {
+		return 0, 0, false
+	}
+	k := sorted[i-1]
+	if !fixedInWindow(k.K, start, end) {
+		return 0, 0, false
+	}
+	return k.K, k.V, true
+}
+
+// CheckIterVar is CheckIterFixed for byte-string keys; nil window edges mean
+// unbounded and live must be sorted ascending by bytewise key order.
+func CheckIterVar(it VarIter, live func() []VarKV, start, end []byte, reverse bool, mutate func(step int)) (int, error) {
+	defer it.Close()
+	var cur []byte
+	steps := 0
+	for {
+		want, ok := nextExpectedVar(live(), start, end, reverse, cur)
+		if !it.Valid() {
+			if ok {
+				return steps, fmt.Errorf("step %d: iterator exhausted but key %q is live in the window", steps, want.K)
+			}
+			return steps, nil
+		}
+		if !ok {
+			return steps, fmt.Errorf("step %d: emitted %q but no live key remains past cursor", steps, it.Key())
+		}
+		if !bytes.Equal(it.Key(), want.K) {
+			return steps, fmt.Errorf("step %d: emitted key %q, oracle expects %q", steps, it.Key(), want.K)
+		}
+		if !bytes.Equal(it.Value(), want.V) {
+			return steps, fmt.Errorf("step %d: key %q carries value %x, oracle has %x", steps, want.K, it.Value(), want.V)
+		}
+		cur = append(cur[:0], want.K...)
+		steps++
+		if mutate != nil {
+			mutate(steps)
+		}
+		it.Next()
+	}
+}
+
+func nextExpectedVar(sorted []VarKV, start, end []byte, reverse bool, cur []byte) (VarKV, bool) {
+	if !reverse {
+		i := sort.Search(len(sorted), func(i int) bool {
+			if len(start) > 0 && bytes.Compare(sorted[i].K, start) < 0 {
+				return false
+			}
+			return cur == nil || bytes.Compare(sorted[i].K, cur) > 0
+		})
+		if i == len(sorted) || !varInWindow(sorted[i].K, start, end) {
+			return VarKV{}, false
+		}
+		return sorted[i], true
+	}
+	i := sort.Search(len(sorted), func(i int) bool {
+		if cur != nil {
+			return bytes.Compare(sorted[i].K, cur) >= 0
+		}
+		return len(end) > 0 && bytes.Compare(sorted[i].K, end) >= 0
+	})
+	if i == 0 {
+		return VarKV{}, false
+	}
+	k := sorted[i-1]
+	if !varInWindow(k.K, start, end) {
+		return VarKV{}, false
+	}
+	return k, true
+}
+
+// CheckIterStableFixed drives it to exhaustion under concurrent mutators.
+// stable is the ascending list of keys guaranteed live for the whole session;
+// valueOf gives every key's canonical value (mutators must only ever write
+// canonical values); volatileOK reports whether a non-stable key is one the
+// mutators could legitimately have inserted. Verifies strict in-window
+// monotonic emission, exact once-each coverage of the stable keys, and
+// canonical values throughout. Returns the number of keys emitted.
+func CheckIterStableFixed(it FixedIter, stable []uint64, start, end uint64, reverse bool, valueOf func(uint64) uint64, volatileOK func(uint64) bool) (int, error) {
+	defer it.Close()
+	want := stableWindowFixed(stable, start, end, reverse)
+	idx := 0
+	var prev uint64
+	prevSet := false
+	steps := 0
+	for ; it.Valid(); it.Next() {
+		k := it.Key()
+		if !fixedInWindow(k, start, end) {
+			return steps, fmt.Errorf("step %d: key %d outside window [%d,%d)", steps, k, start, end)
+		}
+		if prevSet {
+			if !reverse && k <= prev {
+				return steps, fmt.Errorf("step %d: key %d after %d — duplicate or regression", steps, k, prev)
+			}
+			if reverse && k >= prev {
+				return steps, fmt.Errorf("step %d: key %d after %d — duplicate or regression (reverse)", steps, k, prev)
+			}
+		}
+		prev, prevSet = k, true
+		if it.Value() != valueOf(k) {
+			return steps, fmt.Errorf("step %d: key %d carries value %d, canonical is %d", steps, k, it.Value(), valueOf(k))
+		}
+		if idx < len(want) && k == want[idx] {
+			idx++
+		} else if isStableKey(stable, k) {
+			if idx < len(want) {
+				return steps, fmt.Errorf("step %d: stable key %d emitted while %d was still pending — a stable key was skipped", steps, k, want[idx])
+			}
+			return steps, fmt.Errorf("step %d: stable key %d emitted twice", steps, k)
+		} else if !volatileOK(k) {
+			return steps, fmt.Errorf("step %d: key %d is neither stable nor a legal volatile key", steps, k)
+		}
+		steps++
+	}
+	if idx != len(want) {
+		return steps, fmt.Errorf("iterator exhausted with stable key %d (and %d more) never emitted", want[idx], len(want)-idx-1)
+	}
+	return steps, nil
+}
+
+// CheckIterStableVar is the byte-string counterpart of CheckIterStableFixed.
+func CheckIterStableVar(it VarIter, stable [][]byte, start, end []byte, reverse bool, valueOf func([]byte) []byte, volatileOK func([]byte) bool) (int, error) {
+	defer it.Close()
+	want := stableWindowVar(stable, start, end, reverse)
+	idx := 0
+	var prev []byte
+	steps := 0
+	for ; it.Valid(); it.Next() {
+		k := it.Key()
+		if !varInWindow(k, start, end) {
+			return steps, fmt.Errorf("step %d: key %q outside window [%q,%q)", steps, k, start, end)
+		}
+		if prev != nil {
+			c := bytes.Compare(k, prev)
+			if !reverse && c <= 0 || reverse && c >= 0 {
+				return steps, fmt.Errorf("step %d: key %q after %q — duplicate or regression", steps, k, prev)
+			}
+		}
+		prev = append(prev[:0], k...)
+		if !bytes.Equal(it.Value(), valueOf(k)) {
+			return steps, fmt.Errorf("step %d: key %q carries value %x, canonical is %x", steps, k, it.Value(), valueOf(k))
+		}
+		if idx < len(want) && bytes.Equal(k, want[idx]) {
+			idx++
+		} else if isStableKeyVar(stable, k) {
+			if idx < len(want) {
+				return steps, fmt.Errorf("step %d: stable key %q emitted while %q was still pending — a stable key was skipped", steps, k, want[idx])
+			}
+			return steps, fmt.Errorf("step %d: stable key %q emitted twice", steps, k)
+		} else if !volatileOK(k) {
+			return steps, fmt.Errorf("step %d: key %q is neither stable nor a legal volatile key", steps, k)
+		}
+		steps++
+	}
+	if idx != len(want) {
+		return steps, fmt.Errorf("iterator exhausted with stable key %q (and %d more) never emitted", want[idx], len(want)-idx-1)
+	}
+	return steps, nil
+}
+
+// stableWindowFixed selects the in-window stable keys in emission order.
+func stableWindowFixed(stable []uint64, start, end uint64, reverse bool) []uint64 {
+	var w []uint64
+	for _, k := range stable {
+		if fixedInWindow(k, start, end) {
+			w = append(w, k)
+		}
+	}
+	if reverse {
+		for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+			w[i], w[j] = w[j], w[i]
+		}
+	}
+	return w
+}
+
+func stableWindowVar(stable [][]byte, start, end []byte, reverse bool) [][]byte {
+	var w [][]byte
+	for _, k := range stable {
+		if varInWindow(k, start, end) {
+			w = append(w, k)
+		}
+	}
+	if reverse {
+		for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
+			w[i], w[j] = w[j], w[i]
+		}
+	}
+	return w
+}
+
+func isStableKey(stable []uint64, k uint64) bool {
+	i := sort.Search(len(stable), func(i int) bool { return stable[i] >= k })
+	return i < len(stable) && stable[i] == k
+}
+
+func isStableKeyVar(stable [][]byte, k []byte) bool {
+	i := sort.Search(len(stable), func(i int) bool { return bytes.Compare(stable[i], k) >= 0 })
+	return i < len(stable) && bytes.Equal(stable[i], k)
+}

@@ -68,12 +68,48 @@ func BenchmarkMicroScanFixed(b *testing.B) {
 	const n = 100000
 	tree := benchFixedTree(b, n)
 	rng := rand.New(rand.NewSource(42))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got := tree.ScanN(rng.Uint64()%n+1, 100)
 		if len(got) == 0 {
 			b.Fatal("empty scan")
 		}
+	}
+}
+
+// TestScanNAllocBound pins the allocation behaviour of the pre-sized ScanN
+// paths so a regression back to per-call reflection sorting or unsized result
+// slices fails loudly. The fixed codec returns values inline (a couple of
+// slice headers per scan); the var codec inherently copies each key and value
+// out of the arena, so its bound scales with the scan length.
+func TestScanNAllocBound(t *testing.T) {
+	fixed, err := Create(Options{PoolSize: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 10000; k++ {
+		if err := fixed.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := testing.AllocsPerRun(100, func() { fixed.ScanN(500, 100) }); got > 8 {
+		t.Errorf("fixed ScanN(·,100): %.1f allocs/op, want <= 8", got)
+	}
+
+	vt, err := CreateVar(Options{PoolSize: 256 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := vt.Insert([]byte(fmt.Sprintf("key%013d", i)), []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ~2 allocs per returned pair (key copy + value copy) plus slack for the
+	// per-leaf batches.
+	if got := testing.AllocsPerRun(100, func() { vt.ScanN([]byte("key0000000000500"), 100) }); got > 260 {
+		t.Errorf("var ScanN(·,100): %.1f allocs/op, want <= 260", got)
 	}
 }
 
@@ -107,6 +143,7 @@ func BenchmarkMicroScanVar(b *testing.B) {
 	const n = 100000
 	tree := benchVarTree(b, n)
 	rng := rand.New(rand.NewSource(42))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got := tree.ScanN([]byte(fmt.Sprintf("key%013d", rng.Intn(n))), 100)
