@@ -17,7 +17,10 @@
 // single-threaded workload suite (ops/sec, p50/p99 latency, flushes/op,
 // fences/op per workload) for regression tracking; see BENCH_baseline.json at
 // the repository root for the committed baseline. Like -stats, -json given
-// without -exp runs only the JSON suite.
+// without -exp runs only the JSON suite. Adding -trace attaches a
+// 1-in-N sampling span tracer (N from -trace-sample) to each tree and emits
+// the per-phase latency/flush/fence attribution of every workload into the
+// report's "phases" fields.
 //
 // -recovery runs the recovery-time experiment instead (see RECOVERY.md and
 // the recovery section of EXPERIMENTS.md): for each -recovery-keys size it
@@ -80,6 +83,8 @@ func main() {
 		recVar     = flag.Bool("recovery-var", false, "also measure the variable-size-key tree in -recovery")
 		recFile    = flag.Bool("recovery-file", false, "run -recovery over file-backed arenas: each measurement reopens a real arena file cold (true restart, including the mmap)")
 		checkJSON  = flag.String("check-json", "", "validate an existing -json report at this path and exit")
+		traceOn    = flag.Bool("trace", false, "attach a sampling span tracer to the -json suite and emit per-phase attribution (descend/leaf/smo ns, flushes, fences) into the report")
+		traceEvery = flag.Int("trace-sample", 64, "1-in-N span sampling rate for -trace")
 		ycsb       = flag.Bool("ycsb", false, "run the YCSB-style workload suite (A-F) on the concurrent FPTree instead of the experiments")
 		ycsbWork   = flag.String("ycsb-workloads", "A,B,C,D,E,F", "comma-separated YCSB workloads for -ycsb")
 		ycsbRec    = flag.Int("ycsb-records", 50000, "preloaded records per -ycsb workload")
@@ -155,7 +160,11 @@ func main() {
 		}
 		run("ycsb", func() error { return bench.YCSBBench(w, cfg) })
 	} else if *jsonOut != "" {
-		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc) })
+		every := 0
+		if *traceOn {
+			every = *traceEvery
+		}
+		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc, every) })
 	}
 	if (*stats || *recovery || *ycsb || *jsonOut != "") && !expSet {
 		return

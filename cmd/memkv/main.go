@@ -17,8 +17,11 @@
 //
 // With -metrics-addr the server also exposes an observability HTTP endpoint:
 // /metrics (Prometheus text exposition of the server, tree, HTM and SCM
-// counters), /debug/vars (expvar), /debug/pprof/ and /debug/events (recent
-// server events).
+// counters, plus windowed window_* contention gauges), /debug/vars (expvar),
+// /debug/pprof/, /debug/events (recent server events) and — with
+// -trace-sample N — /debug/traces (sampled per-operation spans with
+// phase/flush/abort attribution). -slow-op D counts and event-logs every
+// request slower than D regardless of sampling.
 //
 // On SIGINT/SIGTERM the server drains in-flight commands (bounded by -drain)
 // and, unless -stats=false, dumps the final stats — per-op counters, latency
@@ -28,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,6 +40,7 @@ import (
 	"fptree/internal/core"
 	"fptree/internal/kvserver"
 	"fptree/internal/obs"
+	"fptree/internal/obs/trace"
 	"fptree/internal/scm"
 )
 
@@ -54,7 +59,10 @@ func main() {
 		maxConns     = flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
 		drain        = flag.Duration("drain", time.Second, "shutdown grace for in-flight commands")
 		dumpStats    = flag.Bool("stats", true, "dump server stats on shutdown")
-		metricsAddr  = flag.String("metrics-addr", "", "observability HTTP endpoint (/metrics, /debug/pprof/, /debug/vars, /debug/events); empty = off")
+		metricsAddr  = flag.String("metrics-addr", "", "observability HTTP endpoint (/metrics, /debug/pprof/, /debug/vars, /debug/events, /debug/traces); empty = off")
+		traceSample  = flag.Int("trace-sample", 0, "trace 1 in N requests with phase/flush/abort attribution on /debug/traces (0 = tracing off)")
+		slowOp       = flag.Duration("slow-op", 0, "count + event-log any request slower than this, even with tracing off (0 = off)")
+		windowEvery  = flag.Duration("window", time.Second, "snapshot interval for the windowed window_* gauges")
 	)
 	flag.Parse()
 
@@ -153,13 +161,27 @@ func main() {
 	if *metricsAddr != "" {
 		ring = obs.NewEventRing(obs.DefaultEventRingSize)
 	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 {
+		tcfg := trace.Config{
+			SampleEvery: *traceSample,
+			SlowOp:      *slowOp,
+			Events:      ring,
+		}
+		if pool != nil {
+			tcfg.Costs = pool.Stats()
+		}
+		tracer = trace.New(tcfg)
+	}
 	cfg := kvserver.Config{
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		MaxConns:     *maxConns,
-		DrainTimeout: *drain,
-		Pool:         pool,
-		Events:       ring,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		MaxConns:        *maxConns,
+		DrainTimeout:    *drain,
+		Pool:            pool,
+		Events:          ring,
+		Tracer:          tracer,
+		SlowOpThreshold: *slowOp,
 	}
 	srv, bound, err := kvserver.ServeConfig(*addr, st, cfg)
 	if err != nil {
@@ -171,7 +193,35 @@ func main() {
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		srv.RegisterMetrics(reg)
-		metricsSrv, metricsBound, err := obs.Serve(*metricsAddr, reg, ring)
+
+		// Windowed contention telemetry: a ticker snapshots the registry and
+		// the window derives trailing-30s rates/ratios as window_* gauges, so
+		// a scrape shows current behaviour rather than since-boot averages.
+		win := obs.NewWindow(reg, obs.DefaultWindowSlots)
+		win.ExportRatio(reg, "window_htm_abort_ratio",
+			"HTM/OCC aborts per tree search over the trailing 30s",
+			"htm_aborts_total", "fptree_searches_total", 30*time.Second)
+		if pool != nil {
+			win.ExportRatio(reg, "window_flushes_per_op",
+				"cache-line flushes per tree search over the trailing 30s",
+				"scm_flushes_total", "fptree_searches_total", 30*time.Second)
+		}
+		var extra map[string]http.Handler
+		if tracer != nil {
+			for p := trace.Phase(0); p < trace.NumPhases; p++ {
+				name := "trace_phase_" + p.String() + "_ns"
+				win.TrackHistogram(name, tracer.PhaseHistogram(p))
+				win.ExportP99(reg, "window_"+name+"_p99",
+					"windowed p99 latency of the "+p.String()+" phase in ns",
+					name, 30*time.Second)
+			}
+			extra = map[string]http.Handler{"/debug/traces": trace.Handler(tracer)}
+		}
+		stopWin := make(chan struct{})
+		defer close(stopWin)
+		go win.Run(*windowEvery, stopWin)
+
+		metricsSrv, metricsBound, err := obs.ServeWith(*metricsAddr, reg, ring, extra)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			srv.Close()
@@ -179,6 +229,10 @@ func main() {
 		}
 		defer metricsSrv.Close()
 		fmt.Printf("memkv: metrics on http://%s/metrics\n", metricsBound)
+		if tracer != nil {
+			fmt.Printf("memkv: tracing 1 in %d requests on http://%s/debug/traces\n",
+				tracer.SampleEvery(), metricsBound)
+		}
 	}
 
 	stopSync := make(chan struct{})

@@ -12,6 +12,7 @@ import (
 
 	"fptree/internal/core"
 	"fptree/internal/obs"
+	"fptree/internal/obs/trace"
 	"fptree/internal/scm"
 )
 
@@ -32,6 +33,20 @@ type JSONWorkloadResult struct {
 	// produced before they existed still validate.
 	Threads int    `json:"threads,omitempty"`
 	KeyDist string `json:"key_dist,omitempty"` // zipfian | latest | uniform
+	// TraceSampled and Phases are emitted by -trace runs: how many of this
+	// workload's ops the tracer sampled, and their per-sampled-op phase
+	// attribution. Absent without -trace, so older reports still validate.
+	TraceSampled uint64      `json:"trace_sampled,omitempty"`
+	Phases       []JSONPhase `json:"phases,omitempty"`
+}
+
+// JSONPhase is the per-sampled-op attribution of one operation phase,
+// produced by the -trace flag from the span tracer's cumulative totals.
+type JSONPhase struct {
+	Phase        string  `json:"phase"` // descend | leaf | smo
+	NSPerOp      float64 `json:"ns_per_op"`
+	FlushesPerOp float64 `json:"flushes_per_op"`
+	FencesPerOp  float64 `json:"fences_per_op"`
 }
 
 // JSONReport is the top-level document written by the -json flag. It is
@@ -44,7 +59,11 @@ type JSONReport struct {
 	GOARCH      string               `json:"goarch"`
 	NumCPU      int                  `json:"num_cpu"`
 	Warm        int                  `json:"warm_keys"`
-	Results     []JSONWorkloadResult `json:"results"`
+	// TraceSampleEvery is the 1-in-N span sampling rate of a -trace run
+	// (the denominator behind every trace_sampled count); 0/absent when the
+	// report was produced without -trace.
+	TraceSampleEvery int                  `json:"trace_sample_every,omitempty"`
+	Results          []JSONWorkloadResult `json:"results"`
 	// Recovery holds the recovery-time experiment records written by the
 	// -recovery workload (see RecoveryBench); absent from workload-only runs.
 	Recovery []JSONRecoveryResult `json:"recovery,omitempty"`
@@ -96,6 +115,14 @@ func ValidateReport(data []byte) error {
 		if r.Tree == "" || r.Workload == "" || r.Ops <= 0 || r.OpsPerSec <= 0 {
 			return fmt.Errorf("bench: results[%d] malformed: %+v", i, r)
 		}
+		if len(r.Phases) > 0 && rep.TraceSampleEvery <= 0 {
+			return fmt.Errorf("bench: results[%d] has phase attribution but no trace_sample_every", i)
+		}
+		for j, p := range r.Phases {
+			if p.Phase == "" || p.NSPerOp < 0 || p.FlushesPerOp < 0 || p.FencesPerOp < 0 {
+				return fmt.Errorf("bench: results[%d].phases[%d] malformed: %+v", i, j, p)
+			}
+		}
 	}
 	for i, r := range rep.Recovery {
 		switch {
@@ -111,10 +138,13 @@ func ValidateReport(data []byte) error {
 }
 
 // measureJSON times each op individually (for percentiles) and snapshots the
-// obs registry around the loop (for per-op flush/fence counts).
-func measureJSON(tree, workload string, reg *obs.Registry, n int, fn func(i int)) JSONWorkloadResult {
+// obs registry around the loop (for per-op flush/fence counts). With a
+// non-nil tracer it also diffs the tracer's cumulative totals around the
+// loop and attaches the per-phase attribution of the workload's engine op.
+func measureJSON(tree, workload string, reg *obs.Registry, tc *trace.Tracer, n int, fn func(i int)) JSONWorkloadResult {
 	lat := make([]time.Duration, n)
 	before := reg.Snapshot()
+	tb := tc.Totals() // nil-safe: nil tracer yields nil totals
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		t0 := time.Now()
@@ -128,7 +158,7 @@ func measureJSON(tree, workload string, reg *obs.Registry, n int, fn func(i int)
 		idx := int(p * float64(n-1))
 		return lat[idx].Nanoseconds()
 	}
-	return JSONWorkloadResult{
+	r := JSONWorkloadResult{
 		Tree:         tree,
 		Workload:     workload,
 		Ops:          n,
@@ -138,24 +168,40 @@ func measureJSON(tree, workload string, reg *obs.Registry, n int, fn func(i int)
 		FlushesPerOp: d.PerOp("scm_flushes_total", n),
 		FencesPerOp:  d.PerOp("scm_fences_total", n),
 	}
+	if tc != nil {
+		if op, ok := traceOp[workload]; ok {
+			r.TraceSampled, r.Phases = phaseDeltas(tb, tc.Totals(), op)
+		}
+	}
+	return r
 }
 
 // JSONBench runs the standard single-threaded workload suite (insert, find,
 // update, scan100, delete) on the fixed- and variable-key FPTree and writes
 // the results as an indented JSON document to path. A one-line summary per
-// workload goes to w so interactive runs still show progress.
-func JSONBench(w io.Writer, path string, sc Scale) error {
+// workload goes to w so interactive runs still show progress. traceEvery > 0
+// attaches a 1-in-traceEvery sampling tracer to each tree and emits the
+// per-phase attribution (phases / trace_sampled / trace_sample_every fields)
+// into the report.
+func JSONBench(w io.Writer, path string, sc Scale, traceEvery int) error {
 	rep := newJSONReport(sc.Warm)
+	if traceEvery > 0 {
+		rep.TraceSampleEvery = traceEvery
+	}
 	note := func(r JSONWorkloadResult) {
 		rep.Results = append(rep.Results, r)
 		fmt.Fprintf(w, "%-10s %-8s %9.0f ops/s  p50 %6dns  p99 %7dns  %.2f flushes/op  %.2f fences/op\n",
 			r.Tree, r.Workload, r.OpsPerSec, r.P50NS, r.P99NS, r.FlushesPerOp, r.FencesPerOp)
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "           · %-7s %9.0f ns/op  %.2f flushes/op  %.2f fences/op (sampled %d)\n",
+				p.Phase, p.NSPerOp, p.FlushesPerOp, p.FencesPerOp, r.TraceSampled)
+		}
 	}
 
-	if err := jsonFixedSuite(sc, note); err != nil {
+	if err := jsonFixedSuite(sc, traceEvery, note); err != nil {
 		return err
 	}
-	if err := jsonVarSuite(sc, note); err != nil {
+	if err := jsonVarSuite(sc, traceEvery, note); err != nil {
 		return err
 	}
 
@@ -166,7 +212,7 @@ func JSONBench(w io.Writer, path string, sc Scale) error {
 	return nil
 }
 
-func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
+func jsonFixedSuite(sc Scale, traceEvery int, note func(JSONWorkloadResult)) error {
 	pool := scm.NewPool(int64(poolForScale(sc))<<20, scm.LatencyConfig{})
 	tr, err := core.Create(pool, core.Config{LeafCap: 56, InnerFanout: 4096, GroupSize: 8})
 	if err != nil {
@@ -174,6 +220,11 @@ func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	}
 	reg := obs.NewRegistry()
 	pool.RegisterMetrics(reg, "scm")
+	var tc *trace.Tracer
+	if traceEvery > 0 {
+		tc = trace.New(trace.Config{SampleEvery: traceEvery, Costs: pool.Stats()})
+		tr.SetTracer(tc)
+	}
 
 	warm := genKeys(sc.Warm, 1)
 	extra := genKeys(sc.Ops, 2)
@@ -184,15 +235,15 @@ func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	}
 
 	var opErr error
-	note(measureJSON("FPTree", "insert", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTree", "insert", reg, tc, sc.Ops, func(i int) {
 		if err := tr.Insert(extra[i], uint64(i)); err != nil {
 			opErr = err
 		}
 	}))
-	note(measureJSON("FPTree", "find", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTree", "find", reg, tc, sc.Ops, func(i int) {
 		tr.Find(warm[i%len(warm)])
 	}))
-	note(measureJSON("FPTree", "update", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTree", "update", reg, tc, sc.Ops, func(i int) {
 		if _, err := tr.Update(warm[i%len(warm)], uint64(i)+1); err != nil {
 			opErr = err
 		}
@@ -201,10 +252,10 @@ func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	if scans < 1 {
 		scans = 1
 	}
-	note(measureJSON("FPTree", "scan100", reg, scans, func(i int) {
+	note(measureJSON("FPTree", "scan100", reg, tc, scans, func(i int) {
 		tr.ScanN(warm[i%len(warm)], 100)
 	}))
-	note(measureJSON("FPTree", "delete", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTree", "delete", reg, tc, sc.Ops, func(i int) {
 		if _, err := tr.Delete(extra[i]); err != nil {
 			opErr = err
 		}
@@ -212,7 +263,7 @@ func jsonFixedSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	return opErr
 }
 
-func jsonVarSuite(sc Scale, note func(JSONWorkloadResult)) error {
+func jsonVarSuite(sc Scale, traceEvery int, note func(JSONWorkloadResult)) error {
 	pool := scm.NewPool(int64(poolForScale(sc))<<21, scm.LatencyConfig{})
 	tr, err := core.CreateVar(pool, core.Config{LeafCap: 56, InnerFanout: 2048, GroupSize: 8, ValueSize: 8})
 	if err != nil {
@@ -220,6 +271,11 @@ func jsonVarSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	}
 	reg := obs.NewRegistry()
 	pool.RegisterMetrics(reg, "scm")
+	var tc *trace.Tracer
+	if traceEvery > 0 {
+		tc = trace.New(trace.Config{SampleEvery: traceEvery, Costs: pool.Stats()})
+		tr.SetTracer(tc)
+	}
 
 	warm := genKeys(sc.Warm, 3)
 	extra := genKeys(sc.Ops, 4)
@@ -231,15 +287,15 @@ func jsonVarSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	}
 
 	var opErr error
-	note(measureJSON("FPTreeVar", "insert", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTreeVar", "insert", reg, tc, sc.Ops, func(i int) {
 		if err := tr.Insert(keys16(extra[i]), val); err != nil {
 			opErr = err
 		}
 	}))
-	note(measureJSON("FPTreeVar", "find", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTreeVar", "find", reg, tc, sc.Ops, func(i int) {
 		tr.Find(keys16(warm[i%len(warm)]))
 	}))
-	note(measureJSON("FPTreeVar", "update", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTreeVar", "update", reg, tc, sc.Ops, func(i int) {
 		if _, err := tr.Update(keys16(warm[i%len(warm)]), val); err != nil {
 			opErr = err
 		}
@@ -248,10 +304,10 @@ func jsonVarSuite(sc Scale, note func(JSONWorkloadResult)) error {
 	if scans < 1 {
 		scans = 1
 	}
-	note(measureJSON("FPTreeVar", "scan100", reg, scans, func(i int) {
+	note(measureJSON("FPTreeVar", "scan100", reg, tc, scans, func(i int) {
 		tr.ScanN(keys16(warm[i%len(warm)]), 100)
 	}))
-	note(measureJSON("FPTreeVar", "delete", reg, sc.Ops, func(i int) {
+	note(measureJSON("FPTreeVar", "delete", reg, tc, sc.Ops, func(i int) {
 		if _, err := tr.Delete(keys16(extra[i])); err != nil {
 			opErr = err
 		}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fptree/internal/obs/trace"
+)
+
+// traceOp maps the -json workload names to the engine op whose sampled
+// spans carry that workload's phase attribution.
+var traceOp = map[string]trace.Op{
+	"insert":  trace.OpInsert,
+	"find":    trace.OpFind,
+	"update":  trace.OpUpdate,
+	"scan100": trace.OpScan,
+	"delete":  trace.OpDelete,
+}
+
+// totalFor returns the cumulative totals entry for op (a zero-count entry
+// when the op has no sampled spans yet).
+func totalFor(totals []trace.OpTotal, op trace.Op) trace.OpTotal {
+	for _, t := range totals {
+		if t.Op == op {
+			return t
+		}
+	}
+	return trace.OpTotal{Op: op}
+}
+
+// phaseDeltas diffs two cumulative tracer snapshots for op and converts the
+// delta into per-sampled-op phase records. Returns the number of spans
+// sampled in the interval and nil phases when nothing was sampled.
+func phaseDeltas(before, after []trace.OpTotal, op trace.Op) (uint64, []JSONPhase) {
+	b, a := totalFor(before, op), totalFor(after, op)
+	n := a.Count - b.Count
+	if n == 0 {
+		return 0, nil
+	}
+	prev := make(map[trace.Phase]trace.PhaseTotal, len(b.Phases))
+	for _, p := range b.Phases {
+		prev[p.Phase] = p
+	}
+	var out []JSONPhase
+	for _, p := range a.Phases {
+		d := p
+		if q, ok := prev[p.Phase]; ok {
+			d.NS -= q.NS
+			d.Flushes -= q.Flushes
+			d.Fences -= q.Fences
+		}
+		if d.NS == 0 && d.Flushes == 0 && d.Fences == 0 {
+			continue
+		}
+		out = append(out, JSONPhase{
+			Phase:        p.Phase.String(),
+			NSPerOp:      float64(d.NS) / float64(n),
+			FlushesPerOp: float64(d.Flushes) / float64(n),
+			FencesPerOp:  float64(d.Fences) / float64(n),
+		})
+	}
+	return n, out
+}

@@ -11,6 +11,7 @@ import (
 
 	"fptree/internal/htm"
 	"fptree/internal/obs"
+	"fptree/internal/obs/trace"
 	"fptree/internal/scm"
 )
 
@@ -63,6 +64,10 @@ type engine[K, V any] struct {
 	// Stats counts optimistic aborts and restarts, mirroring TSX event
 	// counters. Only the concurrent controller produces them.
 	Stats htm.Stats
+
+	// tr samples operations into latency-attribution spans; nil (default)
+	// disables tracing. See SetTracer (trace.go).
+	tr *trace.Tracer
 
 	size atomic.Int64
 }
@@ -355,12 +360,6 @@ func (e *engine[K, V]) noteMutation() {
 	}
 }
 
-func (e *engine[K, V]) abort() {
-	e.pool.PanicIfCrashed()
-	e.Stats.Aborts.Add(1)
-	e.Stats.Restarts.Add(1)
-}
-
 // findLeafRef retries descend until it succeeds and returns the leaf handle
 // (nil for an empty tree). Used by invariant checks and the single-threaded
 // scan, where the no-op controller guarantees the first try succeeds.
@@ -370,7 +369,7 @@ func (e *engine[K, V]) findLeafRef(key K) *leafRef {
 		if ok {
 			return ref
 		}
-		e.abort()
+		e.abortc(htm.AbortDescend, nil)
 	}
 }
 
@@ -380,25 +379,34 @@ func (e *engine[K, V]) findLeafRef(key K) *leafRef {
 // under its shared lock; a locked or concurrently modified path aborts and
 // retries, as a TSX conflict would.
 func (e *engine[K, V]) Find(key K) (V, bool) {
+	sp := e.tr.Start(trace.OpFind)
+	v, found := e.findT(key, sp)
+	sp.Finish()
+	return v, found
+}
+
+func (e *engine[K, V]) findT(key K, sp *trace.Span) (V, bool) {
 	var zero V
 	for {
+		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortDescend, sp)
 			continue
 		}
 		if ref == nil {
 			return zero, false // empty tree
 		}
 		if !e.cc.tryRLockLeaf(ref) {
-			e.abort()
+			e.abortc(htm.AbortLeafLock, sp)
 			continue
 		}
 		if !e.cc.validate(&n.lock, ver) {
 			e.cc.rUnlockLeaf(ref)
-			e.abort()
+			e.abortc(htm.AbortPostLock, sp)
 			continue
 		}
+		sp.Enter(trace.PhaseLeaf)
 		s, _, found := e.findInLeaf(ref.off, key)
 		var v V
 		if found {
@@ -415,31 +423,41 @@ func (e *engine[K, V]) Find(key K) (V, bool) {
 // a split performs the persistent work outside any inner-node lock and then
 // re-descends pessimistically to update the parents.
 func (e *engine[K, V]) Insert(key K, value V) error {
+	sp := e.tr.Start(trace.OpInsert)
+	err := e.insertT(key, value, sp)
+	sp.Finish()
+	return err
+}
+
+func (e *engine[K, V]) insertT(key K, value V, sp *trace.Span) error {
 	if err := e.cdc.validateKey(key); err != nil {
 		return err
 	}
 	e.noteMutation()
 	for {
+		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortDescend, sp)
 			continue
 		}
 		if ref == nil {
+			sp.Enter(trace.PhaseSMO)
 			if err := e.firstLeaf(n); err != nil {
 				return err
 			}
 			continue
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abort()
+			e.abortc(htm.AbortLeafLock, sp)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abort()
+			e.abortc(htm.AbortPostLock, sp)
 			continue
 		}
+		sp.Enter(trace.PhaseLeaf)
 		bm := e.leafBitmap(ref.off)
 		if bm != e.fullBitmap() {
 			err := e.insertIntoLeaf(ref.off, bm, key, value)
@@ -452,6 +470,7 @@ func (e *engine[K, V]) Insert(key K, value V) error {
 		}
 		// Split: persistent part first (outside any inner lock), then the
 		// parent update in a pessimistic SMO descent.
+		sp.Enter(trace.PhaseSMO)
 		splitKey, newRef, err := e.splitLeaf(ref)
 		if err != nil {
 			e.cc.unlockLeaf(ref)
@@ -462,6 +481,7 @@ func (e *engine[K, V]) Insert(key K, value V) error {
 		if e.cdc.less(splitKey, key) {
 			target = newRef
 		}
+		sp.Enter(trace.PhaseLeaf)
 		err = e.insertIntoLeaf(target.off, e.leafBitmap(target.off), key, value)
 		e.cc.unlockLeaf(ref)
 		e.cc.unlockLeaf(newRef)
@@ -638,25 +658,34 @@ func (e *engine[K, V]) insertSMO(splitKey K, oldRef, newRef *leafRef) {
 // the removal of the old slot and the insertion of the new one commit with
 // one p-atomic bitmap write. Returns false if the key is absent.
 func (e *engine[K, V]) Update(key K, value V) (bool, error) {
+	sp := e.tr.Start(trace.OpUpdate)
+	ok, err := e.updateT(key, value, sp)
+	sp.Finish()
+	return ok, err
+}
+
+func (e *engine[K, V]) updateT(key K, value V, sp *trace.Span) (bool, error) {
 	e.noteMutation()
 	for {
+		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortDescend, sp)
 			continue
 		}
 		if ref == nil {
 			return false, nil
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abort()
+			e.abortc(htm.AbortLeafLock, sp)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abort()
+			e.abortc(htm.AbortPostLock, sp)
 			continue
 		}
+		sp.Enter(trace.PhaseLeaf)
 		prev, bm, found := e.findInLeaf(ref.off, key)
 		if !found {
 			e.cc.unlockLeaf(ref)
@@ -665,6 +694,7 @@ func (e *engine[K, V]) Update(key K, value V) (bool, error) {
 		target := ref
 		var newRef *leafRef
 		if bm == e.fullBitmap() {
+			sp.Enter(trace.PhaseSMO)
 			splitKey, nr, err := e.splitLeaf(ref)
 			if err != nil {
 				e.cc.unlockLeaf(ref)
@@ -675,6 +705,7 @@ func (e *engine[K, V]) Update(key K, value V) (bool, error) {
 			if e.cdc.less(splitKey, key) {
 				target = newRef
 			}
+			sp.Enter(trace.PhaseLeaf)
 			prev, bm, _ = e.findInLeaf(target.off, key)
 		}
 		slot := bits.TrailingZeros64(^bm)
@@ -689,13 +720,17 @@ func (e *engine[K, V]) Update(key K, value V) (bool, error) {
 	}
 }
 
-// Upsert inserts the pair or updates it in place when the key exists.
+// Upsert inserts the pair or updates it in place when the key exists. One
+// span covers both halves, so a traced upsert attributes its update probe
+// and its insert under a single OpUpsert record.
 func (e *engine[K, V]) Upsert(key K, value V) error {
-	ok, err := e.Update(key, value)
-	if err != nil || ok {
-		return err
+	sp := e.tr.Start(trace.OpUpsert)
+	ok, err := e.updateT(key, value, sp)
+	if err == nil && !ok {
+		err = e.insertT(key, value, sp)
 	}
-	return e.Insert(key, value)
+	sp.Finish()
+	return err
 }
 
 // Delete removes key (Algorithm 5 / 15): the bitmap flip hides the slot,
@@ -708,25 +743,34 @@ func (e *engine[K, V]) Upsert(key K, value V) error {
 // the leaf is the list head) — the cross-subtree neighbor hunt is not worth
 // its locks, so the empty leaf stays linked and recovery reclaims it.
 func (e *engine[K, V]) Delete(key K) (bool, error) {
+	sp := e.tr.Start(trace.OpDelete)
+	ok, err := e.deleteT(key, sp)
+	sp.Finish()
+	return ok, err
+}
+
+func (e *engine[K, V]) deleteT(key K, sp *trace.Span) (bool, error) {
 	e.noteMutation()
 	for {
+		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortDescend, sp)
 			continue
 		}
 		if ref == nil {
 			return false, nil
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abort()
+			e.abortc(htm.AbortLeafLock, sp)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abort()
+			e.abortc(htm.AbortPostLock, sp)
 			continue
 		}
+		sp.Enter(trace.PhaseLeaf)
 		slot, bm, found := e.findInLeaf(ref.off, key)
 		if !found {
 			e.cc.unlockLeaf(ref)
@@ -737,6 +781,7 @@ func (e *engine[K, V]) Delete(key K) (bool, error) {
 		e.cdc.releaseSlotKey(ref.off, slot)
 		if rest == 0 {
 			// Last key: try to remove the whole leaf.
+			sp.Enter(trace.PhaseSMO)
 			if !e.deleteSMO(key, ref) {
 				e.cc.unlockLeaf(ref) // leaf stays empty but linked
 			}
@@ -936,11 +981,13 @@ func (e *engine[K, V]) releaseLeaf(log mlog) {
 // deallocated leaf could be reused under the reader), so it seeks leaf by
 // leaf through the inner nodes, using the separators as upper bounds.
 func (e *engine[K, V]) scan(from K, fn func(K, V) bool) {
+	sp := e.tr.Start(trace.OpScan)
 	if e.st {
-		e.scanChase(from, fn)
+		e.scanChase(from, fn, sp)
 	} else {
-		e.scanSeek(from, fn)
+		e.scanSeek(from, fn, sp)
 	}
+	sp.Finish()
 }
 
 type kvPair[K, V any] struct {
@@ -964,11 +1011,13 @@ func (e *engine[K, V]) sortPairs(batch []kvPair[K, V]) {
 	})
 }
 
-func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
+func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool, sp *trace.Span) {
+	sp.Enter(trace.PhaseDescend)
 	ref := e.findLeafRef(from)
 	if ref == nil {
 		return
 	}
+	sp.Enter(trace.PhaseLeaf)
 	leaf := ref.off
 	batch := make([]kvPair[K, V], 0, e.sh.cap)
 	for {
@@ -997,13 +1046,14 @@ func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool) {
 	}
 }
 
-func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
+func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool, sp *trace.Span) {
 	cur := from
 	batch := make([]kvPair[K, V], 0, e.sh.cap)
 	for {
 		batch = batch[:0]
 		var ub K
 		haveUB := false
+		sp.Enter(trace.PhaseDescend)
 		ok := func() bool {
 			n, ver, _, ref, dok := e.descendUB(cur, &ub, &haveUB)
 			if !dok {
@@ -1019,6 +1069,7 @@ func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
 				e.cc.rUnlockLeaf(ref)
 				return false
 			}
+			sp.Enter(trace.PhaseLeaf)
 			bm := e.leafBitmap(ref.off)
 			for s := 0; s < e.sh.cap; s++ {
 				if bm&(1<<s) == 0 {
@@ -1033,7 +1084,7 @@ func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool) {
 			return true
 		}()
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortIter, sp)
 			continue
 		}
 		e.sortPairs(batch)

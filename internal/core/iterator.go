@@ -1,6 +1,11 @@
 package core
 
-import "slices"
+import (
+	"slices"
+
+	"fptree/internal/htm"
+	"fptree/internal/obs/trace"
+)
 
 // Resumable range iterators over the [start, end) key window, for all four
 // facades. The design follows the leaf sibling list the paper's scans use,
@@ -264,27 +269,31 @@ func (it *Iter[K, V]) seekResume() bool {
 // bounds for stepping. Returns false only for an empty tree.
 func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 	e := it.e
+	sp := e.tr.Start(trace.OpIterSeek)
+	sp.Enter(trace.PhaseDescend)
 	for {
 		n, ver, ref, lb, ub, ok := e.descendIter(target, rightmost)
 		if !ok {
-			e.abort()
+			e.abortc(htm.AbortIter, sp)
 			continue
 		}
 		if ref == nil {
+			sp.Finish()
 			return false // empty tree
 		}
 		if !e.cc.tryRLockLeaf(ref) {
-			e.abort()
+			e.abortc(htm.AbortLeafLock, sp)
 			continue
 		}
 		if !e.cc.validate(&n.lock, ver) {
 			e.cc.rUnlockLeaf(ref)
-			e.abort()
+			e.abortc(htm.AbortPostLock, sp)
 			continue
 		}
 		// ver and content form a consistent pair: writers bump ref.ver
 		// before releasing the exclusive lock, which cannot be held while
 		// we hold the shared lock.
+		sp.Enter(trace.PhaseLeaf)
 		lv := ref.ver.Load()
 		it.fill(ref.off)
 		e.cc.rUnlockLeaf(ref)
@@ -292,6 +301,7 @@ func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 		it.lb, it.ub = lb, ub
 		it.mutSnap = e.mut
 		it.haveLeaf = true
+		sp.Finish()
 		return true
 	}
 }

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fptree/internal/htm"
+	"fptree/internal/obs/trace"
+)
+
+// SetTracer installs tr as the engine's operation tracer; nil (the default)
+// disables tracing, leaving exactly one predictable nil-check branch per
+// instrumentation site. The facades promote this method, and kvserver
+// discovers it through an optional interface, so any store backed by a tree
+// can be traced without new constructor plumbing.
+//
+// Call before the tree serves traffic: the field is read without
+// synchronization on every operation.
+func (e *engine[K, V]) SetTracer(tr *trace.Tracer) { e.tr = tr }
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (e *engine[K, V]) Tracer() *trace.Tracer { return e.tr }
+
+// abortc records one optimistic-validation failure: the crash-injection
+// check every retry loop must make, the cause-tagged htm counters, and the
+// (possibly nil) span of the operation that must now restart.
+func (e *engine[K, V]) abortc(c htm.AbortCause, sp *trace.Span) {
+	e.pool.PanicIfCrashed()
+	e.Stats.NoteAbort(c)
+	sp.Abort(c)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"fptree/internal/obs/trace"
+)
+
+// overheadTree builds a fixed-key tree with enough warm keys to exercise a
+// multi-level descend.
+func overheadTree(t testing.TB, warm int) *Tree {
+	t.Helper()
+	tr, err := Create(newPool(64), Config{LeafCap: 56, InnerFanout: 64, GroupSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		if err := tr.Insert(uint64(i)*7, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// TestTracerDisabledZeroAlloc is the acceptance guard for the disabled
+// tracing path: with no tracer installed — and equally with a tracer whose
+// sampling never fires inside the run — Find performs zero allocations per
+// op, so the instrumentation sites cost one predictable branch and nothing
+// else.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	tr := overheadTree(t, 5000)
+	var sink uint64
+	find := func() {
+		v, ok := tr.Find(7 * 1234)
+		if !ok {
+			t.Fatal("warm key missing")
+		}
+		sink += v
+	}
+
+	if got := testing.AllocsPerRun(200, find); got != 0 {
+		t.Fatalf("find with nil tracer: %.1f allocs/op, want 0", got)
+	}
+
+	// Installed but unsampled: the ticket increment must not allocate.
+	tr.SetTracer(trace.New(trace.Config{SampleEvery: 1 << 30}))
+	if got := testing.AllocsPerRun(200, find); got != 0 {
+		t.Fatalf("find with unsampled tracer: %.1f allocs/op, want 0", got)
+	}
+	_ = sink
+}
+
+// TestTracerDisabledOverhead compares fixed-key insert throughput with the
+// tracer field nil against an installed-but-never-sampling tracer. The two
+// paths differ by one branch and one atomic add per span site; the guard
+// allows generous slack for scheduler noise on small CI hosts but catches a
+// real regression (an allocation or lock on the disabled path shows up as
+// 2-10x, not tens of percent). The precise ≤2% comparison against the
+// pre-instrumentation baseline is reproduced in EXPERIMENTS.md.
+func TestTracerDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const warm = 2000
+	const ops = 30000
+
+	run := func(sampleEvery int) time.Duration {
+		tr := overheadTree(t, warm)
+		if sampleEvery > 0 {
+			tr.SetTracer(trace.New(trace.Config{SampleEvery: sampleEvery}))
+		}
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := tr.Insert(uint64(warm+i)*7+1, uint64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Warm the code and allocator once, then take the best of three for each
+	// configuration: minima are far more stable than means under CI noise.
+	run(0)
+	best := func(every int) time.Duration {
+		b := run(every)
+		for i := 0; i < 2; i++ {
+			if d := run(every); d < b {
+				b = d
+			}
+		}
+		return b
+	}
+	off := best(0)
+	unsampled := best(1 << 30)
+
+	ratio := float64(unsampled) / float64(off)
+	if ratio > 1.5 {
+		t.Fatalf("unsampled tracer made insert %.2fx slower (off=%v traced=%v); disabled-path regression", ratio, off, unsampled)
+	}
+	t.Logf("fixed-key insert: tracer off %v, unsampled tracer %v (%.3fx)", off, unsampled, ratio)
+}
+
+// TestTraceFlushAttributionComplete is the sum≈cumulative acceptance check
+// in its exact form: single-threaded with 1-in-1 sampling, every flush the
+// pool counts during traced operations must be attributed to some phase of
+// some span, so the per-op totals sum to exactly the SCM counter delta.
+// (Under 1-in-N sampling the same sum times N converges on the counter
+// within sampling error; under concurrency attribution is an upper bound —
+// see the trace package doc.)
+func TestTraceFlushAttributionComplete(t *testing.T) {
+	pool := newPool(64)
+	tr, err := Create(pool, Config{LeafCap: 56, InnerFanout: 64, GroupSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert(uint64(i)*3, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tc := trace.New(trace.Config{SampleEvery: 1, Costs: pool.Stats()})
+	tr.SetTracer(tc)
+	flushes0, fences0 := pool.Stats().FlushFence()
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(uint64(2000+i)*3+1, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := tr.Delete(uint64(2000+i)*3 + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flushes1, fences1 := pool.Stats().FlushFence()
+
+	var sumF, sumFe uint64
+	for _, tot := range tc.Totals() {
+		for _, p := range tot.Phases {
+			sumF += p.Flushes
+			sumFe += p.Fences
+		}
+	}
+	if sumF != flushes1-flushes0 {
+		t.Fatalf("attributed flushes %d != cumulative delta %d", sumF, flushes1-flushes0)
+	}
+	if sumFe != fences1-fences0 {
+		t.Fatalf("attributed fences %d != cumulative delta %d", sumFe, fences1-fences0)
+	}
+}
+
+// BenchmarkInsertTracerOff / BenchmarkInsertTracerUnsampled are the
+// fine-grained versions of the guard: run with -benchmem to verify the
+// 0 allocs/op and ≤2% ns/op acceptance numbers interactively.
+func BenchmarkInsertTracerOff(b *testing.B)       { benchInsert(b, 0) }
+func BenchmarkInsertTracerUnsampled(b *testing.B) { benchInsert(b, 1<<30) }
+func BenchmarkInsertTracerSampled64(b *testing.B) { benchInsert(b, 64) }
+
+func benchInsert(b *testing.B, sampleEvery int) {
+	tr := overheadTree(b, 2000)
+	if sampleEvery > 0 {
+		tr.SetTracer(trace.New(trace.Config{SampleEvery: sampleEvery}))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(uint64(2000+i)*7+1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -88,11 +88,76 @@ func (v *VersionLock) UnlockNoBump() {
 // IsLocked reports whether a writer currently owns the node.
 func (v *VersionLock) IsLocked() bool { return v.w.Load()&1 == 1 }
 
+// AbortCause classifies why an optimistic section aborted. Real TSX reports
+// an abort cause word (conflict, capacity, explicit XABORT); the emulation
+// tags each abort with where in the protocol the conflict was observed, so
+// the windowed abort-ratio telemetry and the per-span trace attribution can
+// distinguish traversal conflicts from leaf-lock contention.
+type AbortCause uint8
+
+const (
+	// AbortDescend: version validation failed while traversing the inner
+	// nodes (a writer modified a node on the path).
+	AbortDescend AbortCause = iota
+	// AbortLeafLock: the target leaf's lock was unavailable (a writer or
+	// reader held it), the analogue of a data-conflict abort on the leaf.
+	AbortLeafLock
+	// AbortPostLock: the leaf parent changed between taking the leaf lock
+	// and the final validation, or the leaf died underneath the operation.
+	AbortPostLock
+	// AbortIter: an iterator or scan re-seek observed a conflict.
+	AbortIter
+	// AbortForced: a ForceAbort schedule fired (the emulation hook for the
+	// spurious/capacity aborts real TSX suffers).
+	AbortForced
+	// AbortOther: unclassified (callers predating cause tagging).
+	AbortOther
+
+	// NumAbortCauses is the number of distinct causes; arrays indexed by
+	// AbortCause have this length.
+	NumAbortCauses
+)
+
+// String returns the short lowercase name used in metric names and trace
+// JSON ("descend", "leaf_lock", ...).
+func (c AbortCause) String() string {
+	switch c {
+	case AbortDescend:
+		return "descend"
+	case AbortLeafLock:
+		return "leaf_lock"
+	case AbortPostLock:
+		return "post_lock"
+	case AbortIter:
+		return "iter"
+	case AbortForced:
+		return "forced"
+	default:
+		return "other"
+	}
+}
+
 // Stats counts emulated-HTM events.
 type Stats struct {
 	Aborts    atomic.Uint64 // validation failures (conflict aborts)
 	Restarts  atomic.Uint64 // full operation restarts
 	Fallbacks atomic.Uint64 // times the global fallback lock was taken
+
+	// ByCause breaks Aborts down by AbortCause; the per-cause counters sum
+	// to Aborts (NoteAbort maintains both).
+	ByCause [NumAbortCauses]atomic.Uint64
+}
+
+// NoteAbort records one conflict abort plus the operation restart it forces,
+// tagged with its cause. It is the counting path behind the engine's
+// abort-and-retry loops; Aborts == sum(ByCause) holds by construction.
+func (s *Stats) NoteAbort(c AbortCause) {
+	if c >= NumAbortCauses {
+		c = AbortOther
+	}
+	s.Aborts.Add(1)
+	s.Restarts.Add(1)
+	s.ByCause[c].Add(1)
 }
 
 // SpecMutex emulates the TBB speculative spin mutex the paper uses as the
@@ -153,10 +218,15 @@ func (g *Guard) begin() {
 }
 
 // Abort records a conflict and prepares the next attempt; the caller must
-// restart its critical section from the top.
+// restart its critical section from the top. Aborts driven by a ForceAbort
+// schedule are tagged AbortForced, organic conflicts AbortOther (the mutex
+// cannot see where inside the section the conflict arose).
 func (g *Guard) Abort() {
-	g.m.Stats.Aborts.Add(1)
-	g.m.Stats.Restarts.Add(1)
+	cause := AbortOther
+	if g.m.ForceAbort != nil {
+		cause = AbortForced
+	}
+	g.m.Stats.NoteAbort(cause)
 	if g.fallback {
 		g.m.serial.Store(false)
 		g.m.mu.Unlock()

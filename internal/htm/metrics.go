@@ -14,4 +14,9 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
 		"full operation restarts after an abort", s.Restarts.Load)
 	reg.CounterFunc(prefix+"_fallbacks_total",
 		"times the global fallback lock serialized a section", s.Fallbacks.Load)
+	for c := AbortCause(0); c < NumAbortCauses; c++ {
+		reg.CounterFunc(prefix+"_aborts_"+c.String()+"_total",
+			"conflict aborts attributed to the "+c.String()+" protocol step",
+			s.ByCause[c].Load)
+	}
 }

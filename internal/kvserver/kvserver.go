@@ -22,6 +22,7 @@ import (
 	"fptree/internal/core"
 	"fptree/internal/nvtree"
 	"fptree/internal/obs"
+	"fptree/internal/obs/trace"
 	"fptree/internal/scm"
 )
 
@@ -119,7 +120,9 @@ func (s cvarStore) Name() string                          { return "FPTreeC" }
 func (s cvarStore) Len() int                              { return s.t.Len() }
 func (s cvarStore) CheckInvariants() error                { return s.t.CheckInvariants() }
 func (s cvarStore) RegisterMetrics(reg *obs.Registry)     { s.t.RegisterMetrics(reg) }
+func (s cvarStore) SetTracer(tr *trace.Tracer)            { s.t.SetTracer(tr) }
 func (s *lockedVarStore) RegisterMetrics(r *obs.Registry) { s.t.RegisterMetrics(r) }
+func (s *lockedVarStore) SetTracer(tr *trace.Tracer)      { s.t.SetTracer(tr) }
 
 // NewFPTreeStore backs the cache with the single-threaded FPTree behind a
 // global lock (the paper's non-concurrent configuration).
@@ -307,8 +310,19 @@ type Config struct {
 	// `stats` command output.
 	Pool *scm.Pool
 	// Events, when set, receives noteworthy server events (rejected
-	// connections, store errors) for the /debug/events endpoint.
+	// connections, store errors, slow requests) for the /debug/events
+	// endpoint.
 	Events *obs.EventRing
+	// Tracer, when set, samples request spans (parse/store/reply phases)
+	// and is handed down to the storage engine when it supports SetTracer,
+	// so one sampled request shows both the server-side and tree-side
+	// attribution. Server spans carry time only; the engine spans own the
+	// flush/fence attribution (no double counting).
+	Tracer *trace.Tracer
+	// SlowOpThreshold, when >0, counts and event-logs every request that
+	// takes at least this long — always on, independent of trace sampling,
+	// because the server already times each request.
+	SlowOpThreshold time.Duration
 }
 
 const defaultDrainTimeout = 500 * time.Millisecond
@@ -345,6 +359,11 @@ func ServeConfig(addr string, store Store, cfg Config) (*Server, string, error) 
 	}
 	s := &Server{store: store, cfg: cfg, ln: ln, conns: map[net.Conn]struct{}{}}
 	s.metrics.start = time.Now()
+	if cfg.Tracer != nil {
+		if ts, ok := store.(interface{ SetTracer(*trace.Tracer) }); ok {
+			ts.SetTracer(cfg.Tracer)
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, ln.Addr().String(), nil
@@ -364,6 +383,9 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	}
 	if ms, ok := s.store.(interface{ RegisterMetrics(*obs.Registry) }); ok {
 		ms.RegisterMetrics(reg)
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.RegisterMetrics(reg, "trace")
 	}
 }
 
@@ -528,130 +550,27 @@ func (s *Server) handle(conn net.Conn) {
 		start := time.Now()
 		switch fields[0] {
 		case "set":
-			// set <key> <flags> <exptime> <bytes> [noreply]
-			noreply := len(fields) == 6 && fields[5] == "noreply"
-			if len(fields) < 5 || len(fields) > 6 || (len(fields) == 6 && !noreply) {
-				m.ProtocolErrors.Add(1)
-				if !reply("CLIENT_ERROR bad command line format\r\n") {
-					return
-				}
-				continue
-			}
-			n, err := strconv.Atoi(fields[4])
-			if err != nil || n < 0 {
-				// The payload length is unknowable; the stream cannot be
-				// resynchronized. Report and keep reading (as memcached does).
-				m.ProtocolErrors.Add(1)
-				if !reply("CLIENT_ERROR bad command line format\r\n") {
-					return
-				}
-				continue
-			}
-			if n > MaxValueSize {
-				// Consume the declared payload so framing stays intact, then
-				// reject. Oversize is a client error, reported even on noreply.
-				if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
-					return
-				}
-				m.StoreErrors.Add(1)
-				if !reply("SERVER_ERROR object too large for cache\r\n") {
-					return
-				}
-				continue
-			}
-			data := make([]byte, n+2) // payload + trailing \r\n
-			if _, err := io.ReadFull(r, data); err != nil {
-				return
-			}
-			if data[n] != '\r' || data[n+1] != '\n' {
-				// Corrupt framing is reported even under noreply: the
-				// connection is already suspect and silence would hide it.
-				m.ProtocolErrors.Add(1)
-				if !reply("CLIENT_ERROR bad data chunk\r\n") {
-					return
-				}
-				continue
-			}
-			m.CmdSet.Add(1)
-			err = s.store.Set([]byte(fields[1]), data[:n])
-			m.SetLatency.Observe(time.Since(start))
-			if err != nil {
-				m.StoreErrors.Add(1)
-				s.event("store", "set %q: %v", fields[1], err)
-			}
-			if noreply {
-				continue
-			}
-			var ok bool
-			switch {
-			case errors.Is(err, ErrValueTooLarge):
-				ok = reply("SERVER_ERROR object too large for cache\r\n")
-			case err != nil:
-				ok = reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
-			default:
-				ok = reply("STORED\r\n")
-			}
-			if !ok {
+			sp := s.cfg.Tracer.Start(trace.OpReqSet)
+			keep := s.cmdSet(sp, fields, r, reply, start)
+			sp.Finish()
+			s.noteSlow("set", fields, start)
+			if !keep {
 				return
 			}
 		case "get", "gets":
-			if len(fields) < 2 {
-				m.ProtocolErrors.Add(1)
-				if !reply("ERROR\r\n") {
-					return
-				}
-				continue
-			}
-			for _, key := range fields[1:] {
-				m.CmdGet.Add(1)
-				if v, ok := s.store.Get([]byte(key)); ok {
-					m.GetHits.Add(1)
-					fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
-					w.Write(v)
-					w.WriteString("\r\n")
-				} else {
-					m.GetMisses.Add(1)
-				}
-			}
-			w.WriteString("END\r\n")
-			m.GetLatency.Observe(time.Since(start))
-			if !flush() {
+			sp := s.cfg.Tracer.Start(trace.OpReqGet)
+			keep := s.cmdGet(sp, fields, w, reply, flush, start)
+			sp.Finish()
+			s.noteSlow("get", fields, start)
+			if !keep {
 				return
 			}
 		case "delete":
-			// delete <key> [noreply]
-			noreply := len(fields) == 3 && fields[2] == "noreply"
-			if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && !noreply) {
-				m.ProtocolErrors.Add(1)
-				if !reply("CLIENT_ERROR bad command line format\r\n") {
-					return
-				}
-				continue
-			}
-			m.CmdDelete.Add(1)
-			found, err := s.store.Delete([]byte(fields[1]))
-			m.DeleteLatency.Observe(time.Since(start))
-			if err != nil {
-				m.StoreErrors.Add(1)
-				s.event("store", "delete %q: %v", fields[1], err)
-			} else if found {
-				m.DeleteHits.Add(1)
-			} else {
-				m.DeleteMisses.Add(1)
-			}
-			if noreply {
-				continue
-			}
-			var ok bool
-			switch {
-			case err != nil:
-				ok = reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
-			case found:
-				ok = reply("DELETED\r\n")
-			default:
-				ok = reply("NOT_FOUND\r\n")
-			}
-			if !ok {
+			sp := s.cfg.Tracer.Start(trace.OpReqDelete)
+			keep := s.cmdDelete(sp, fields, reply, start)
+			sp.Finish()
+			s.noteSlow("delete", fields, start)
+			if !keep {
 				return
 			}
 		case "stats":
@@ -675,5 +594,148 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		}
+	}
+}
+
+// noteSlow counts and event-logs a request that crossed SlowOpThreshold.
+// Unlike trace sampling this sees every request: the check rides on the
+// per-request timing the latency histograms already pay for, so slow
+// outliers surface even with tracing disabled.
+func (s *Server) noteSlow(verb string, fields []string, start time.Time) {
+	th := s.cfg.SlowOpThreshold
+	if th <= 0 {
+		return
+	}
+	d := time.Since(start)
+	if d < th {
+		return
+	}
+	s.metrics.SlowOps.Add(1)
+	key := ""
+	if len(fields) > 1 {
+		key = fields[1]
+	}
+	s.event("slow", "%s %q took %s (threshold %s)", verb, key, d, th)
+}
+
+// cmdSet handles one `set <key> <flags> <exptime> <bytes> [noreply]`
+// command; it reports whether the connection should stay open. sp is nil
+// unless this request was sampled.
+func (s *Server) cmdSet(sp *trace.Span, fields []string, r *bufio.Reader, reply func(string) bool, start time.Time) bool {
+	sp.Enter(trace.PhaseParse)
+	m := &s.metrics
+	noreply := len(fields) == 6 && fields[5] == "noreply"
+	if len(fields) < 5 || len(fields) > 6 || (len(fields) == 6 && !noreply) {
+		m.ProtocolErrors.Add(1)
+		return reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	n, err := strconv.Atoi(fields[4])
+	if err != nil || n < 0 {
+		// The payload length is unknowable; the stream cannot be
+		// resynchronized. Report and keep reading (as memcached does).
+		m.ProtocolErrors.Add(1)
+		return reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	if n > MaxValueSize {
+		// Consume the declared payload so framing stays intact, then
+		// reject. Oversize is a client error, reported even on noreply.
+		if _, err := io.CopyN(io.Discard, r, int64(n)+2); err != nil {
+			return false
+		}
+		m.StoreErrors.Add(1)
+		return reply("SERVER_ERROR object too large for cache\r\n")
+	}
+	data := make([]byte, n+2) // payload + trailing \r\n
+	if _, err := io.ReadFull(r, data); err != nil {
+		return false
+	}
+	if data[n] != '\r' || data[n+1] != '\n' {
+		// Corrupt framing is reported even under noreply: the
+		// connection is already suspect and silence would hide it.
+		m.ProtocolErrors.Add(1)
+		return reply("CLIENT_ERROR bad data chunk\r\n")
+	}
+	m.CmdSet.Add(1)
+	sp.Enter(trace.PhaseStore)
+	err = s.store.Set([]byte(fields[1]), data[:n])
+	m.SetLatency.Observe(time.Since(start))
+	sp.Enter(trace.PhaseReply)
+	if err != nil {
+		m.StoreErrors.Add(1)
+		s.event("store", "set %q: %v", fields[1], err)
+	}
+	if noreply {
+		return true
+	}
+	switch {
+	case errors.Is(err, ErrValueTooLarge):
+		return reply("SERVER_ERROR object too large for cache\r\n")
+	case err != nil:
+		return reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
+	default:
+		return reply("STORED\r\n")
+	}
+}
+
+// cmdGet handles one `get <key>...` command; it reports whether the
+// connection should stay open.
+func (s *Server) cmdGet(sp *trace.Span, fields []string, w *bufio.Writer, reply func(string) bool, flush func() bool, start time.Time) bool {
+	sp.Enter(trace.PhaseParse)
+	m := &s.metrics
+	if len(fields) < 2 {
+		m.ProtocolErrors.Add(1)
+		return reply("ERROR\r\n")
+	}
+	sp.Enter(trace.PhaseStore)
+	for _, key := range fields[1:] {
+		m.CmdGet.Add(1)
+		if v, ok := s.store.Get([]byte(key)); ok {
+			m.GetHits.Add(1)
+			fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
+			w.Write(v)
+			w.WriteString("\r\n")
+		} else {
+			m.GetMisses.Add(1)
+		}
+	}
+	sp.Enter(trace.PhaseReply)
+	w.WriteString("END\r\n")
+	m.GetLatency.Observe(time.Since(start))
+	return flush()
+}
+
+// cmdDelete handles one `delete <key> [noreply]` command; it reports whether
+// the connection should stay open.
+func (s *Server) cmdDelete(sp *trace.Span, fields []string, reply func(string) bool, start time.Time) bool {
+	sp.Enter(trace.PhaseParse)
+	m := &s.metrics
+	noreply := len(fields) == 3 && fields[2] == "noreply"
+	if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && !noreply) {
+		m.ProtocolErrors.Add(1)
+		return reply("CLIENT_ERROR bad command line format\r\n")
+	}
+	m.CmdDelete.Add(1)
+	sp.Enter(trace.PhaseStore)
+	found, err := s.store.Delete([]byte(fields[1]))
+	m.DeleteLatency.Observe(time.Since(start))
+	sp.Enter(trace.PhaseReply)
+	if err != nil {
+		m.StoreErrors.Add(1)
+		s.event("store", "delete %q: %v", fields[1], err)
+	} else if found {
+		m.DeleteHits.Add(1)
+	} else {
+		m.DeleteMisses.Add(1)
+	}
+	if noreply {
+		return true
+	}
+	switch {
+	case err != nil:
+		return reply(fmt.Sprintf("SERVER_ERROR %v\r\n", err))
+	case found:
+		return reply("DELETED\r\n")
+	default:
+		return reply("NOT_FOUND\r\n")
 	}
 }

@@ -38,6 +38,7 @@ type Metrics struct {
 
 	StoreErrors    atomic.Uint64 // engine-level Set/Delete failures
 	ProtocolErrors atomic.Uint64 // malformed commands, bad framing, unknown verbs
+	SlowOps        atomic.Uint64 // requests over Config.SlowOpThreshold
 
 	BytesRead    atomic.Uint64
 	BytesWritten atomic.Uint64
@@ -72,6 +73,7 @@ func (m *Metrics) writeTo(w io.Writer, eol string) {
 	stat("delete_misses", m.DeleteMisses.Load())
 	stat("store_errors", m.StoreErrors.Load())
 	stat("protocol_errors", m.ProtocolErrors.Load())
+	stat("slow_ops", m.SlowOps.Load())
 	stat("bytes_read", m.BytesRead.Load())
 	stat("bytes_written", m.BytesWritten.Load())
 	hist := func(name string, h *Histogram) {
@@ -116,6 +118,7 @@ func (m *Metrics) RegisterMetrics(reg *obs.Registry, prefix string) {
 	counter("delete_misses_total", "delete keys not found", &m.DeleteMisses)
 	counter("store_errors_total", "engine-level Set/Delete failures", &m.StoreErrors)
 	counter("protocol_errors_total", "malformed commands, bad framing, unknown verbs", &m.ProtocolErrors)
+	counter("slow_ops_total", "requests over the slow-op threshold", &m.SlowOps)
 	counter("bytes_read_total", "raw bytes read from clients", &m.BytesRead)
 	counter("bytes_written_total", "raw bytes written to clients", &m.BytesWritten)
 	counter("connections_total", "connections accepted", &m.TotalConnections)

@@ -112,3 +112,70 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.P99 = quantile(0.99)
 	return s
 }
+
+// Sub returns the delta snapshot s - prev: the distribution of observations
+// recorded between the two snapshots, with Mean and quantiles recomputed
+// from the delta buckets. prev must be an earlier snapshot of the same
+// histogram. The true maximum of just the window is unknowable from
+// cumulative counters, so Max is the upper bound of the highest non-empty
+// delta bucket clamped to s.Max (conservative, like the quantiles).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	d.Count = s.Count - prev.Count
+	d.Sum = s.Sum - prev.Sum
+	for i := range d.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	for b := HistogramBuckets - 1; b >= 0; b-- {
+		if d.Buckets[b] == 0 {
+			continue
+		}
+		d.Max = s.Max
+		if b < HistogramBuckets-1 {
+			if ub := time.Duration(uint64(1)<<b - 1); ub < d.Max {
+				d.Max = ub
+			}
+		}
+		break
+	}
+	if d.Count == 0 {
+		return d
+	}
+	d.Mean = time.Duration(uint64(d.Sum) / d.Count)
+	d.P50 = d.bucketQuantile(0.50)
+	d.P95 = d.bucketQuantile(0.95)
+	d.P99 = d.bucketQuantile(0.99)
+	return d
+}
+
+// bucketQuantile computes a conservative quantile from the snapshot's
+// buckets — the same rules as Snapshot: bucket upper bound, clamped to Max,
+// with the catch-all bucket answered by Max.
+func (s HistogramSnapshot) bucketQuantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, c := range s.Buckets {
+		total += c
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	seen := uint64(0)
+	for b, c := range s.Buckets {
+		seen += c
+		if seen >= target {
+			if b == 0 {
+				return 0
+			}
+			if b == HistogramBuckets-1 {
+				return s.Max
+			}
+			ub := time.Duration(uint64(1)<<b - 1)
+			if ub > s.Max {
+				return s.Max
+			}
+			return ub
+		}
+	}
+	return s.Max
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -16,6 +17,13 @@ import (
 //	/debug/pprof/   net/http/pprof profiles
 //	/debug/events   the event ring, oldest first (when ring is non-nil)
 func Handler(reg *Registry, ring *EventRing) http.Handler {
+	return HandlerWith(reg, ring, nil)
+}
+
+// HandlerWith is Handler plus caller-supplied routes (e.g. the tracing
+// layer's /debug/traces) mounted on the same mux. Extra paths must not
+// collide with the standard ones.
+func HandlerWith(reg *Registry, ring *EventRing, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(reg))
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -27,8 +35,14 @@ func Handler(reg *Registry, ring *EventRing) http.Handler {
 	if ring != nil {
 		mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			recorded, dropped := ring.Stats()
+			fmt.Fprintf(w, "# events recorded=%d retained=%d dropped=%d\n",
+				recorded, ring.Len(), dropped)
 			ring.WriteTo(w) //nolint:errcheck // best-effort debug dump
 		})
+	}
+	for path, h := range extra {
+		mux.Handle(path, h)
 	}
 	return mux
 }
@@ -50,11 +64,16 @@ type HTTPServer struct {
 // Serve starts the observability endpoint on addr (e.g. "127.0.0.1:9100" or
 // ":0" for an ephemeral port) and returns the server and its bound address.
 func Serve(addr string, reg *Registry, ring *EventRing) (*HTTPServer, string, error) {
+	return ServeWith(addr, reg, ring, nil)
+}
+
+// ServeWith is Serve with extra routes mounted via HandlerWith.
+func ServeWith(addr string, reg *Registry, ring *EventRing, extra map[string]http.Handler) (*HTTPServer, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(reg, ring), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: HandlerWith(reg, ring, extra), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Close
 	return &HTTPServer{ln: ln, srv: srv}, ln.Addr().String(), nil
 }

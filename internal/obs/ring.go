@@ -48,6 +48,20 @@ func (r *EventRing) Record(kind, format string, args ...interface{}) {
 	r.mu.Unlock()
 }
 
+// Stats reports how many events were ever recorded and how many have been
+// overwritten by wraparound — the count /debug/events surfaces so a wrapped
+// ring no longer silently loses history. Seq numbers on the retained events
+// are contiguous: the oldest retained Seq equals dropped.
+func (r *EventRing) Stats() (recorded, dropped uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recorded = r.next
+	if n := uint64(len(r.buf)); recorded > n {
+		dropped = recorded - n
+	}
+	return recorded, dropped
+}
+
 // Len reports how many events the ring currently holds.
 func (r *EventRing) Len() int {
 	r.mu.Lock()

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"fptree/internal/htm"
+)
+
+// Report is the strict JSON document served at /debug/traces. Every field is
+// produced by BuildReport and accepted by DecodeReport with unknown fields
+// rejected, so the schema itself is round-trip tested.
+type Report struct {
+	// SampleEvery is the sampling period: spans describe 1 in SampleEvery
+	// operations, so whole-run cost estimates multiply by it.
+	SampleEvery int `json:"sample_every"`
+	// SlowOpThresholdNS is the slow-span log threshold (0 = disabled).
+	SlowOpThresholdNS int64 `json:"slow_op_threshold_ns"`
+	// Recorded counts every sampled span since tracer creation; Dropped
+	// counts those the ring has since evicted (Recorded - Dropped ≈
+	// len(Spans), modulo spans mid-publication).
+	Recorded  uint64 `json:"recorded"`
+	Dropped   uint64 `json:"dropped"`
+	SlowSpans uint64 `json:"slow_spans"`
+	// Totals aggregates every sampled span per op — the low-noise series
+	// for sum≈cumulative checks. Spans holds the most recent individual
+	// spans retained by the ring, oldest first.
+	Totals []OpTotalJSON `json:"totals"`
+	Spans  []SpanJSON    `json:"spans"`
+	// AbortsByCause is the cumulative sampled abort count per cause name.
+	AbortsByCause map[string]uint64 `json:"aborts_by_cause,omitempty"`
+}
+
+// SpanJSON is one retained span.
+type SpanJSON struct {
+	Seq         uint64            `json:"seq"`
+	Op          string            `json:"op"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Aborts      uint32            `json:"aborts,omitempty"`
+	Fallbacks   uint32            `json:"fallbacks,omitempty"`
+	AbortCauses map[string]uint32 `json:"abort_causes,omitempty"`
+	Phases      []PhaseJSON       `json:"phases,omitempty"`
+}
+
+// PhaseJSON is the cost attributed to one phase of a span or op total.
+type PhaseJSON struct {
+	Phase   string `json:"phase"`
+	NS      int64  `json:"ns"`
+	Flushes uint64 `json:"flushes"`
+	Fences  uint64 `json:"fences"`
+}
+
+// OpTotalJSON aggregates every sampled span of one op.
+type OpTotalJSON struct {
+	Op        string      `json:"op"`
+	Count     uint64      `json:"count"`
+	NS        uint64      `json:"ns"`
+	Aborts    uint64      `json:"aborts"`
+	Fallbacks uint64      `json:"fallbacks"`
+	Phases    []PhaseJSON `json:"phases,omitempty"`
+}
+
+// BuildReport snapshots the tracer into its JSON document. Safe on a nil
+// tracer (returns an empty, still-valid report).
+func BuildReport(t *Tracer) Report {
+	rep := Report{
+		SampleEvery:       t.SampleEvery(),
+		SlowOpThresholdNS: t.SlowOp().Nanoseconds(),
+		SlowSpans:         t.SlowSpans(),
+	}
+	for _, tot := range t.Totals() {
+		oj := OpTotalJSON{
+			Op:        tot.Op.String(),
+			Count:     tot.Count,
+			NS:        tot.NS,
+			Aborts:    tot.Aborts,
+			Fallbacks: tot.Fallbacks,
+		}
+		for _, pt := range tot.Phases {
+			oj.Phases = append(oj.Phases, PhaseJSON{
+				Phase: pt.Phase.String(), NS: int64(pt.NS),
+				Flushes: pt.Flushes, Fences: pt.Fences,
+			})
+		}
+		rep.Totals = append(rep.Totals, oj)
+	}
+	spans, recorded, dropped := t.Spans()
+	rep.Recorded, rep.Dropped = recorded, dropped
+	for _, sp := range spans {
+		sj := SpanJSON{
+			Seq:         sp.Seq,
+			Op:          sp.Op.String(),
+			StartUnixNS: sp.Start.UnixNano(),
+			DurationNS:  sp.Duration.Nanoseconds(),
+			Aborts:      sp.Aborts,
+			Fallbacks:   sp.Fallbacks,
+		}
+		for c := range sp.ByCause {
+			if sp.ByCause[c] > 0 {
+				if sj.AbortCauses == nil {
+					sj.AbortCauses = map[string]uint32{}
+				}
+				sj.AbortCauses[htm.AbortCause(c).String()] = sp.ByCause[c]
+			}
+		}
+		for p := Phase(0); p < NumPhases; p++ {
+			if sp.PhaseNS[p] == 0 && sp.Flushes[p] == 0 && sp.Fences[p] == 0 {
+				continue
+			}
+			sj.Phases = append(sj.Phases, PhaseJSON{
+				Phase: p.String(), NS: sp.PhaseNS[p],
+				Flushes: sp.Flushes[p], Fences: sp.Fences[p],
+			})
+		}
+		rep.Spans = append(rep.Spans, sj)
+	}
+	byCause := t.AbortsByCause()
+	for c := range byCause {
+		if byCause[c] > 0 {
+			if rep.AbortsByCause == nil {
+				rep.AbortsByCause = map[string]uint64{}
+			}
+			rep.AbortsByCause[htm.AbortCause(c).String()] = byCause[c]
+		}
+	}
+	return rep
+}
+
+// DecodeReport strictly parses a /debug/traces document: unknown fields are
+// an error, so schema drift between producer and consumers is caught.
+func DecodeReport(data []byte) (Report, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("trace report: %w", err)
+	}
+	return rep, nil
+}
+
+// Handler serves the tracer's Report as JSON — the /debug/traces endpoint.
+// Safe on a nil tracer.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(BuildReport(t)) //nolint:errcheck // client went away
+	})
+}
+
+// FlushSum returns the report's total attributed flushes across the
+// engine-level op totals — the left-hand side of the sum×SampleEvery ≈
+// cumulative-scm-flushes acceptance check. Request-level ops (req_*) are
+// excluded: they wrap the engine spans and would double-count every flush
+// (see Op.IsRequest).
+func (r Report) FlushSum() uint64 {
+	req := make(map[string]bool, NumOps)
+	for o := OpFind; o < NumOps; o++ {
+		if o.IsRequest() {
+			req[o.String()] = true
+		}
+	}
+	var sum uint64
+	for _, tot := range r.Totals {
+		if req[tot.Op] {
+			continue
+		}
+		for _, p := range tot.Phases {
+			sum += p.Flushes
+		}
+	}
+	return sum
+}

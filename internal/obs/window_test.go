@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistogramSnapshotSub pins the delta arithmetic windowed quantiles are
+// built on: counts, sums and buckets subtract element-wise and quantiles are
+// recomputed from the delta alone.
+func TestHistogramSnapshotSub(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Nanosecond)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Millisecond)
+	}
+	d := h.Snapshot().Sub(before)
+	if d.Count != 50 {
+		t.Fatalf("delta count = %d, want 50", d.Count)
+	}
+	if d.P50 < 100*time.Microsecond {
+		t.Fatalf("delta p50 = %v, want ~1ms (old 100ns samples must not leak in)", d.P50)
+	}
+}
+
+// TestWindowDeltaRatio drives a window by hand: counters advance between
+// ticks and the trailing-window queries must see only the advance.
+func TestWindowDeltaRatio(t *testing.T) {
+	var aborts, searches atomic.Uint64
+	reg := NewRegistry()
+	reg.CounterFunc("htm_aborts_total", "", aborts.Load)
+	reg.CounterFunc("fptree_searches_total", "", searches.Load)
+
+	w := NewWindow(reg, 8)
+	searches.Store(1000)
+	aborts.Store(10)
+	w.Tick()
+	searches.Store(3000)
+	aborts.Store(110)
+	w.Tick()
+
+	if d := w.Delta("fptree_searches_total", time.Hour); d != 2000 {
+		t.Fatalf("delta = %v, want 2000", d)
+	}
+	if r := w.Ratio("htm_aborts_total", "fptree_searches_total", time.Hour); r != 0.05 {
+		t.Fatalf("ratio = %v, want 0.05", r)
+	}
+	if rate := w.Rate("fptree_searches_total", time.Hour); rate <= 0 {
+		t.Fatalf("rate = %v, want > 0", rate)
+	}
+	// One slot is not a window: queries need two snapshots to diff.
+	w2 := NewWindow(reg, 8)
+	w2.Tick()
+	if d := w2.Delta("fptree_searches_total", time.Hour); d != 0 {
+		t.Fatalf("single-slot delta = %v, want 0", d)
+	}
+}
+
+// TestWindowWrap fills the slot ring several times over and checks queries
+// still see a consistent trailing window.
+func TestWindowWrap(t *testing.T) {
+	var c atomic.Uint64
+	reg := NewRegistry()
+	reg.CounterFunc("c_total", "", c.Load)
+	w := NewWindow(reg, 4)
+	for i := 0; i < 20; i++ {
+		c.Add(5)
+		w.Tick()
+	}
+	// Only the last 4 slots are retained: the visible delta spans 3 ticks.
+	if d := w.Delta("c_total", time.Hour); d != 15 {
+		t.Fatalf("wrapped delta = %v, want 15", d)
+	}
+}
+
+// TestWindowQuantile checks tracked-histogram deltas: old samples fall out
+// of the window as slots expire.
+func TestWindowQuantile(t *testing.T) {
+	var h Histogram
+	reg := NewRegistry()
+	w := NewWindow(reg, 8)
+	w.TrackHistogram("lat_ns", &h)
+
+	w.Tick()
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	w.Tick()
+	q := w.Quantile("lat_ns", 0.99, time.Hour)
+	if q < 100*time.Microsecond {
+		t.Fatalf("windowed p99 = %v, want ~1ms", q)
+	}
+}
+
+// TestWindowExportGauges checks the derived gauges register and can be
+// scraped from the same registry the window observes (no deadlock).
+func TestWindowExportGauges(t *testing.T) {
+	var aborts, searches atomic.Uint64
+	reg := NewRegistry()
+	reg.CounterFunc("htm_aborts_total", "", aborts.Load)
+	reg.CounterFunc("fptree_searches_total", "", searches.Load)
+	w := NewWindow(reg, 8)
+	w.ExportRatio(reg, "window_abort_ratio", "windowed abort ratio",
+		"htm_aborts_total", "fptree_searches_total", time.Hour)
+
+	searches.Store(100)
+	w.Tick()
+	aborts.Store(25)
+	searches.Store(200)
+	w.Tick()
+	if got := reg.Snapshot().Get("window_abort_ratio"); got != 0.25 {
+		t.Fatalf("window_abort_ratio = %v, want 0.25", got)
+	}
+}
+
+// TestEventRingStats pins the wraparound accounting satellite: recorded
+// counts every Record call, dropped counts entries evicted by the wrap, and
+// the oldest retained seq equals the dropped count.
+func TestEventRingStats(t *testing.T) {
+	ring := NewEventRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Record("k", "event %d", i)
+	}
+	recorded, dropped := ring.Stats()
+	if recorded != 10 || dropped != 6 {
+		t.Fatalf("stats = %d/%d, want 10/6", recorded, dropped)
+	}
+	evs := ring.Events()
+	if len(evs) != 4 || evs[0].Seq != 6 {
+		t.Fatalf("retained %d events, first seq %d; want 4 events from seq 6", len(evs), evs[0].Seq)
+	}
+}
+
+// TestEventsEndpointDroppedHeader checks /debug/events surfaces the
+// wraparound accounting in its header line.
+func TestEventsEndpointDroppedHeader(t *testing.T) {
+	ring := NewEventRing(4)
+	for i := 0; i < 7; i++ {
+		ring.Record("k", "event %d", i)
+	}
+	srv := httptest.NewServer(Handler(NewRegistry(), ring))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "# events recorded=7 retained=4 dropped=3") {
+		t.Fatalf("missing dropped header in:\n%s", body)
+	}
+}

@@ -172,6 +172,15 @@ type Stats struct {
 	SyncNanos    atomic.Uint64 // wall-clock nanoseconds spent in arena-file syncs
 }
 
+// FlushFence returns the current cumulative flush and fence counts in two
+// atomic loads. It is the span hook the tracing layer snapshots at phase
+// boundaries to attribute persist/fence costs to an operation: the delta
+// between two FlushFence calls is exact when one goroutine runs and an
+// upper bound (all goroutines' activity) under concurrency.
+func (s *Stats) FlushFence() (flushes, fences uint64) {
+	return s.Flushes.Load(), s.Fences.Load()
+}
+
 // Snapshot returns a plain-struct copy of the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
