@@ -38,6 +38,13 @@
 // results land in the standard report schema (tagged with thread count and
 // key distribution), so -check-json and the regression tooling apply.
 //
+// -mc runs the memcached shard-scaling suite instead: the Section 6.4 server
+// over loopback TCP with its keyspace hash-partitioned across -mc-shards
+// FPTreeC shards, measured at each -mc-clients connection count. Reports
+// SET/GET throughput, tail latency and the fleet HTM/OCC abort ratio per
+// point; with -json the records land in the standard schema tagged with
+// shards/clients/htm_abort_ratio.
+//
 // -check-json <path> validates an existing -json document against the report
 // schema and exits; CI's recovery-smoke job runs it over fresh output.
 package main
@@ -85,6 +92,11 @@ func main() {
 		checkJSON  = flag.String("check-json", "", "validate an existing -json report at this path and exit")
 		traceOn    = flag.Bool("trace", false, "attach a sampling span tracer to the -json suite and emit per-phase attribution (descend/leaf/smo ns, flushes, fences) into the report")
 		traceEvery = flag.Int("trace-sample", 64, "1-in-N span sampling rate for -trace")
+		mc         = flag.Bool("mc", false, "run the memcached shard-scaling suite: SET/GET throughput over loopback TCP per (shards, clients) point")
+		mcStore    = flag.String("mc-store", "fptree", "shard engine for -mc: fptree (locked) | fptreec (concurrent)")
+		mcShards   = flag.String("mc-shards", "1,2,4", "comma-separated fleet widths for -mc")
+		mcClients  = flag.String("mc-clients", "64", "comma-separated benchmark connection counts for -mc")
+		mcLatency  = flag.Int("mc-latency", 85, "emulated SCM latency in ns for -mc (sleep mode; 0 = off)")
 		ycsb       = flag.Bool("ycsb", false, "run the YCSB-style workload suite (A-F) on the concurrent FPTree instead of the experiments")
 		ycsbWork   = flag.String("ycsb-workloads", "A,B,C,D,E,F", "comma-separated YCSB workloads for -ycsb")
 		ycsbRec    = flag.Int("ycsb-records", 50000, "preloaded records per -ycsb workload")
@@ -148,6 +160,16 @@ func main() {
 			FileBacked: *recFile,
 		}
 		run("recovery", func() error { return bench.RecoveryBench(w, cfg) })
+	} else if *mc {
+		cfg := bench.MCShardConfig{
+			Store:     *mcStore,
+			Shards:    parseIntList("mc-shards", *mcShards),
+			Clients:   parseIntList("mc-clients", *mcClients),
+			Ops:       *ops,
+			LatencyNS: *mcLatency,
+			JSONPath:  *jsonOut,
+		}
+		run("mc", func() error { return bench.MCShardBench(w, cfg) })
 	} else if *ycsb {
 		cfg := bench.YCSBConfig{
 			Workloads: strings.Split(*ycsbWork, ","),
@@ -166,7 +188,7 @@ func main() {
 		}
 		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc, every) })
 	}
-	if (*stats || *recovery || *ycsb || *jsonOut != "") && !expSet {
+	if (*stats || *recovery || *ycsb || *mc || *jsonOut != "") && !expSet {
 		return
 	}
 

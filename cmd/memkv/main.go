@@ -15,13 +15,23 @@
 // arena lives in memory and all data is lost on exit. The hashmap store has
 // no persistent representation and rejects -data.
 //
+// With -shards N (N > 1) the keyspace is hash-partitioned over N independent
+// shard trees behind a router: each shard owns its own SCM arena — with -data
+// the files are named <data>.shard0 … <data>.shard(N-1) — its own allocator
+// and its own concurrency domain, so clients on different shards share no
+// synchronization. The shard count is part of the on-disk layout: reopen a
+// sharded data path with the same -shards value (a narrower reopen fails
+// loudly). Recovery after a crash runs all shards in parallel. `stats`
+// reports fleet-wide totals; `stats shards` breaks them out per shard.
+//
 // With -metrics-addr the server also exposes an observability HTTP endpoint:
 // /metrics (Prometheus text exposition of the server, tree, HTM and SCM
-// counters, plus windowed window_* contention gauges), /debug/vars (expvar),
-// /debug/pprof/, /debug/events (recent server events) and — with
-// -trace-sample N — /debug/traces (sampled per-operation spans with
-// phase/flush/abort attribution). -slow-op D counts and event-logs every
-// request slower than D regardless of sampling.
+// counters, plus windowed window_* contention gauges; sharded servers add
+// per-shard series labeled {shard="i"}), /debug/vars (expvar), /debug/pprof/,
+// /debug/events (recent server events) and — with -trace-sample N —
+// /debug/traces (sampled per-operation spans with phase/flush/abort
+// attribution). -slow-op D counts and event-logs every request slower than D
+// regardless of sampling.
 //
 // On SIGINT/SIGTERM the server drains in-flight commands (bounded by -drain)
 // and, unless -stats=false, dumps the final stats — per-op counters, latency
@@ -49,11 +59,12 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:11211", "listen address")
 		store        = flag.String("store", "fptreec", "fptreec | fptree | ptree | nvtreec | hashmap")
 		data         = flag.String("data", "", "arena file path; empty = in-memory arena (state lost on exit)")
+		shards       = flag.Int("shards", 1, "hash-partition the keyspace over N independent shard trees, one arena per shard (<data>.shard<i>); must match the on-disk layout on reopen")
 		latency      = flag.Int("latency", 0, "emulated SCM latency in ns (0 = off)")
 		latencyMode  = flag.String("latency-mode", "spin", "how latency is charged: spin | sleep")
-		poolMB       = flag.Int("pool", 512, "SCM arena size in MiB (ignored when -data names an existing arena)")
+		poolMB       = flag.Int("pool", 512, "total SCM arena size in MiB, split evenly across shards (ignored when -data names an existing arena)")
 		syncEvery    = flag.Duration("sync", 0, "periodic arena sync interval for power-fail durability (0 = sync only on shutdown)")
-		recWorkers   = flag.Int("recovery-workers", 0, "parallel recovery leaf-scan workers (0 = sequential)")
+		recWorkers   = flag.Int("recovery-workers", 0, "parallel recovery leaf-scan workers per shard (0 = sequential)")
 		readTimeout  = flag.Duration("read-timeout", 0, "per-command read deadline (0 = none)")
 		writeTimeout = flag.Duration("write-timeout", 0, "per-response write deadline (0 = none)")
 		maxConns     = flag.Int("max-conns", 0, "max simultaneous connections (0 = unlimited)")
@@ -87,74 +98,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "memkv: the hashmap store is transient and cannot use -data")
 		os.Exit(2)
 	}
-
-	var (
-		pool      *scm.Pool
-		recovered bool
-		err       error
-	)
-	if *data != "" {
-		pool, recovered, err = scm.OpenFile(*data, int64(*poolMB)<<20, lat)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else if *store != "hashmap" {
-		pool = scm.NewPool(int64(*poolMB)<<20, lat)
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "memkv: -shards %d < 1\n", *shards)
+		os.Exit(2)
 	}
 
-	var st kvserver.Store
-	if recovered && core.HasTree(pool) {
-		switch *store {
-		case "fptreec":
-			st, err = kvserver.OpenFPTreeCStore(pool, *recWorkers)
-		case "fptree":
-			st, err = kvserver.OpenFPTreeStore(pool, *recWorkers)
-		case "ptree":
-			st, err = kvserver.OpenPTreeStore(pool, *recWorkers)
-		case "nvtreec":
-			st, err = kvserver.OpenNVTreeCStore(pool)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
-			os.Exit(2)
-		}
+	var (
+		st    kvserver.Store
+		pools []*scm.Pool
+		err   error
+	)
+	if *shards == 1 {
+		st, pools, err = openSingle(*store, *data, int64(*poolMB)<<20, lat, *recWorkers)
 	} else {
-		switch *store {
-		case "fptreec":
-			st, err = kvserver.NewFPTreeCStore(pool)
-		case "fptree":
-			st, err = kvserver.NewFPTreeStore(pool)
-		case "ptree":
-			st, err = kvserver.NewPTreeStore(pool)
-		case "nvtreec":
-			st, err = kvserver.NewNVTreeCStore(pool)
-		case "hashmap":
-			st = kvserver.NewHashMapStore()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
-			os.Exit(2)
-		}
+		st, pools, err = openSharded(*store, *data, *shards, int64(*poolMB)<<20, lat, *recWorkers)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-
-	if recovered {
-		shutdown := "crash"
-		if pool.WasCleanShutdown() {
-			shutdown = "clean"
-		}
-		if c, ok := st.(kvserver.Checker); ok {
-			if err := c.CheckInvariants(); err != nil {
-				fmt.Fprintf(os.Stderr, "memkv: recovered tree failed invariant check: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Printf("memkv: recovered %d keys from %s (%s shutdown, invariants ok)\n",
-				c.Len(), *data, shutdown)
-		}
-	} else if *data != "" {
-		fmt.Printf("memkv: created arena %s\n", *data)
 	}
 
 	var ring *obs.EventRing
@@ -168,8 +129,11 @@ func main() {
 			SlowOp:      *slowOp,
 			Events:      ring,
 		}
-		if pool != nil {
-			tcfg.Costs = pool.Stats()
+		// Flush/fence attribution needs one Stats behind all sampled ops, so
+		// it is only wired for the single-arena layout; sharded spans carry
+		// phase timings without persistence-cost attribution.
+		if len(pools) == 1 && pools[0] != nil {
+			tcfg.Costs = pools[0].Stats()
 		}
 		tracer = trace.New(tcfg)
 	}
@@ -178,7 +142,7 @@ func main() {
 		WriteTimeout:    *writeTimeout,
 		MaxConns:        *maxConns,
 		DrainTimeout:    *drain,
-		Pool:            pool,
+		Pools:           pools,
 		Events:          ring,
 		Tracer:          tracer,
 		SlowOpThreshold: *slowOp,
@@ -201,10 +165,22 @@ func main() {
 		win.ExportRatio(reg, "window_htm_abort_ratio",
 			"HTM/OCC aborts per tree search over the trailing 30s",
 			"htm_aborts_total", "fptree_searches_total", 30*time.Second)
-		if pool != nil {
+		if len(pools) > 0 {
 			win.ExportRatio(reg, "window_flushes_per_op",
 				"cache-line flushes per tree search over the trailing 30s",
 				"scm_flushes_total", "fptree_searches_total", 30*time.Second)
+		}
+		if ss, ok := st.(*kvserver.ShardedStore); ok && *store != "hashmap" {
+			// Per-shard contention ratios over the labeled series the router
+			// registers, so a hot shard is visible as its own gauge.
+			for i := 0; i < ss.NumShards(); i++ {
+				lbl := obs.ShardLabel(i)
+				num := obs.Series("htm_aborts_total", lbl)
+				den := obs.Series("fptree_searches_total", lbl)
+				reg.GaugeFuncL("window_htm_abort_ratio", lbl,
+					"HTM/OCC aborts per tree search over the trailing 30s",
+					func() float64 { return win.Ratio(num, den, 30*time.Second) })
+			}
 		}
 		var extra map[string]http.Handler
 		if tracer != nil {
@@ -235,15 +211,22 @@ func main() {
 		}
 	}
 
+	fileBacked := false
+	for _, p := range pools {
+		if p != nil && p.FileBacked() {
+			fileBacked = true
+		}
+	}
 	stopSync := make(chan struct{})
-	if *syncEvery > 0 && pool != nil && pool.FileBacked() {
+	if *syncEvery > 0 && fileBacked {
 		go func() {
 			t := time.NewTicker(*syncEvery)
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
-					if err := pool.Sync(); err != nil {
+					// One fan-out sync covers every shard arena.
+					if err := scm.SyncPools(pools); err != nil {
 						fmt.Fprintf(os.Stderr, "memkv: arena sync: %v\n", err)
 					}
 				case <-stopSync:
@@ -259,14 +242,177 @@ func main() {
 	fmt.Println("memkv: shutting down")
 	srv.Close()
 	close(stopSync)
-	if pool != nil && pool.FileBacked() {
-		if err := pool.Close(); err != nil {
+	if fileBacked {
+		if err := scm.ClosePools(pools); err != nil {
 			fmt.Fprintf(os.Stderr, "memkv: closing arena: %v\n", err)
-		} else {
+		} else if len(pools) == 1 {
 			fmt.Printf("memkv: arena %s closed cleanly\n", *data)
+		} else {
+			fmt.Printf("memkv: %d shard arenas of %s closed cleanly\n", len(pools), *data)
 		}
 	}
 	if *dumpStats {
 		srv.DumpStats(os.Stdout)
 	}
+}
+
+// newStore constructs a fresh store of the given kind over pool (nil for
+// hashmap).
+func newStore(kind string, pool *scm.Pool) (kvserver.Store, error) {
+	switch kind {
+	case "fptreec":
+		return kvserver.NewFPTreeCStore(pool)
+	case "fptree":
+		return kvserver.NewFPTreeStore(pool)
+	case "ptree":
+		return kvserver.NewPTreeStore(pool)
+	case "nvtreec":
+		return kvserver.NewNVTreeCStore(pool)
+	case "hashmap":
+		return kvserver.NewHashMapStore(), nil
+	default:
+		return nil, fmt.Errorf("unknown store %q", kind)
+	}
+}
+
+// openStore recovers a store of the given kind from an arena that already
+// holds a tree.
+func openStore(kind string, pool *scm.Pool, workers int) (kvserver.Store, error) {
+	switch kind {
+	case "fptreec":
+		return kvserver.OpenFPTreeCStore(pool, workers)
+	case "fptree":
+		return kvserver.OpenFPTreeStore(pool, workers)
+	case "ptree":
+		return kvserver.OpenPTreeStore(pool, workers)
+	case "nvtreec":
+		return kvserver.OpenNVTreeCStore(pool)
+	default:
+		return nil, fmt.Errorf("unknown store %q", kind)
+	}
+}
+
+// openSingle is the classic one-tree layout: one arena (file-backed with
+// -data), one store.
+func openSingle(kind, data string, poolBytes int64, lat scm.LatencyConfig, workers int) (kvserver.Store, []*scm.Pool, error) {
+	var (
+		pool      *scm.Pool
+		recovered bool
+		err       error
+	)
+	if data != "" {
+		pool, recovered, err = scm.OpenFile(data, poolBytes, lat)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if kind != "hashmap" {
+		pool = scm.NewPool(poolBytes, lat)
+	}
+
+	var st kvserver.Store
+	if recovered && core.HasTree(pool) {
+		st, err = openStore(kind, pool, workers)
+	} else {
+		st, err = newStore(kind, pool)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if recovered {
+		shutdown := "crash"
+		if pool.WasCleanShutdown() {
+			shutdown = "clean"
+		}
+		if c, ok := st.(kvserver.Checker); ok {
+			if err := c.CheckInvariants(); err != nil {
+				return nil, nil, fmt.Errorf("memkv: recovered tree failed invariant check: %w", err)
+			}
+			fmt.Printf("memkv: recovered %d keys from %s (%s shutdown, invariants ok)\n",
+				c.Len(), data, shutdown)
+		}
+	} else if data != "" {
+		fmt.Printf("memkv: created arena %s\n", data)
+	}
+	if pool == nil {
+		return st, nil, nil
+	}
+	return st, []*scm.Pool{pool}, nil
+}
+
+// openSharded builds the hash-partitioned fleet: n arenas (files
+// <data>.shard<i> with -data), one store per arena, all shard recoveries
+// running in parallel, behind a ShardedStore router.
+func openSharded(kind, data string, n int, poolBytes int64, lat scm.LatencyConfig, workers int) (kvserver.Store, []*scm.Pool, error) {
+	capEach := poolBytes / int64(n)
+	var (
+		pools     []*scm.Pool
+		recovered []bool
+		err       error
+	)
+	switch {
+	case data != "":
+		pools, recovered, err = scm.OpenFileShards(data, n, capEach, lat)
+		if err != nil {
+			return nil, nil, err
+		}
+	case kind != "hashmap":
+		pools = make([]*scm.Pool, n)
+		for i := range pools {
+			pools[i] = scm.NewPool(capEach, lat)
+		}
+		recovered = make([]bool, n)
+	default:
+		recovered = make([]bool, n)
+	}
+
+	stores, err := kvserver.BuildShardStores(n, func(i int) (kvserver.Store, error) {
+		if recovered[i] && core.HasTree(pools[i]) {
+			return openStore(kind, pools[i], workers)
+		}
+		var p *scm.Pool
+		if pools != nil {
+			p = pools[i]
+		}
+		return newStore(kind, p)
+	})
+	if err != nil {
+		scm.ClosePools(pools) //nolint:errcheck — surfacing the build error
+		return nil, nil, err
+	}
+	router, err := kvserver.NewShardedStore(stores, pools)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	anyRecovered := false
+	shutdown := "clean"
+	for i, r := range recovered {
+		if !r {
+			continue
+		}
+		anyRecovered = true
+		if !pools[i].WasCleanShutdown() {
+			shutdown = "crash"
+		}
+	}
+	if anyRecovered {
+		if err := router.CheckInvariants(); err != nil {
+			return nil, nil, fmt.Errorf("memkv: recovered tree failed invariant check: %w", err)
+		}
+		for i, r := range recovered {
+			if !r {
+				continue
+			}
+			if c, ok := stores[i].(kvserver.Checker); ok {
+				fmt.Printf("memkv: shard %d/%d recovered %d keys from %s\n",
+					i, n, c.Len(), scm.ShardPath(data, i))
+			}
+		}
+		fmt.Printf("memkv: recovered %d keys from %s across %d shards (%s shutdown, invariants ok)\n",
+			router.Len(), data, n, shutdown)
+	} else if data != "" {
+		fmt.Printf("memkv: created arena %s across %d shards\n", data, n)
+	}
+	return router, pools, nil
 }

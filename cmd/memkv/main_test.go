@@ -237,6 +237,115 @@ func TestMemkvKillRestart(t *testing.T) {
 	}
 }
 
+// TestMemkvShardedKillRestart runs the kill -9 durability scenario against a
+// sharded server: acked sets spread over 4 shard arena files must all survive
+// a SIGKILL, every shard must recover (in parallel) on restart, and a
+// graceful stop must mark every shard arena clean.
+func TestMemkvShardedKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real server processes")
+	}
+	dir := t.TempDir()
+	bin := buildMemkv(t, dir)
+	arena := filepath.Join(dir, "memkv.dat")
+	args := []string{"-addr", "127.0.0.1:0", "-store", "fptreec", "-data", arena,
+		"-shards", "4", "-pool", "64", "-sync", "25ms", "-stats=false"}
+
+	p1 := startMemkv(t, bin, args...)
+	p1.waitLine(t, "created arena")
+	rw := dialMemkv(t, p1.boundAddr(t))
+
+	const n = 500
+	acked := map[string]string{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("user:%04d", i%300)
+		v := fmt.Sprintf("payload-%06d", i)
+		memkvSet(t, rw, k, v)
+		acked[k] = v
+	}
+	// Every shard file must exist — the keys must actually be partitioned.
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(fmt.Sprintf("%s.shard%d", arena, i)); err != nil {
+			t.Fatalf("shard arena %d: %v", i, err)
+		}
+	}
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait() //nolint:errcheck
+	<-p1.done
+
+	p2 := startMemkv(t, bin, args...)
+	banner := p2.waitLine(t, "across 4 shards")
+	if !strings.Contains(banner, "crash shutdown") {
+		t.Fatalf("recovery banner does not report a crash shutdown: %q", banner)
+	}
+	if !strings.Contains(banner, "invariants ok") {
+		t.Fatalf("recovery banner does not confirm invariants: %q", banner)
+	}
+	rw2 := dialMemkv(t, p2.boundAddr(t))
+	for k, want := range acked {
+		got, ok := memkvGet(t, rw2, k)
+		if !ok {
+			t.Fatalf("acked key %q lost after kill -9 (its shard did not replay)", k)
+		}
+		if got != want {
+			t.Fatalf("key %q = %q, want %q", k, got, want)
+		}
+	}
+
+	// Graceful shutdown must close every shard arena cleanly; the next start
+	// reports a clean fleet.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	p2.cmd.Wait() //nolint:errcheck
+	<-p2.done
+	p2.waitLine(t, "closed cleanly")
+
+	p3 := startMemkv(t, bin, args...)
+	banner3 := p3.waitLine(t, "across 4 shards")
+	if !strings.Contains(banner3, "clean shutdown") {
+		t.Fatalf("banner after graceful stop: %q", banner3)
+	}
+	rw3 := dialMemkv(t, p3.boundAddr(t))
+	for k, want := range acked {
+		if got, ok := memkvGet(t, rw3, k); !ok || got != want {
+			t.Fatalf("key %q = %q,%v after clean restart, want %q", k, got, ok, want)
+		}
+	}
+}
+
+// TestMemkvShardMismatchFails pins the layout guard: reopening a sharded
+// data path with a narrower -shards must fail instead of silently stranding
+// the extra shards' keys.
+func TestMemkvShardMismatchFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the server binary")
+	}
+	dir := t.TempDir()
+	bin := buildMemkv(t, dir)
+	arena := filepath.Join(dir, "memkv.dat")
+
+	p1 := startMemkv(t, bin, "-addr", "127.0.0.1:0", "-store", "fptreec",
+		"-data", arena, "-shards", "4", "-pool", "64", "-stats=false")
+	p1.waitLine(t, "created arena")
+	if err := p1.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait() //nolint:errcheck
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-store", "fptreec",
+		"-data", arena, "-shards", "2", "-pool", "64")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("narrower reopen succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sharded wider") {
+		t.Fatalf("unexpected error output: %s", out)
+	}
+}
+
 // TestMemkvHashmapRejectsData pins the transient store's contract.
 func TestMemkvHashmapRejectsData(t *testing.T) {
 	if testing.Short() {

@@ -33,6 +33,13 @@ type JSONWorkloadResult struct {
 	// produced before they existed still validate.
 	Threads int    `json:"threads,omitempty"`
 	KeyDist string `json:"key_dist,omitempty"` // zipfian | latest | uniform
+	// Shards, Clients and HTMAbortRatio are emitted by the memcached
+	// shard-scaling suite (MCShardBench): the fleet width behind the server,
+	// the benchmark connection count, and the fleet-wide HTM/OCC aborts per
+	// tree search during the run. Absent elsewhere.
+	Shards        int     `json:"shards,omitempty"`
+	Clients       int     `json:"clients,omitempty"`
+	HTMAbortRatio float64 `json:"htm_abort_ratio,omitempty"`
 	// TraceSampled and Phases are emitted by -trace runs: how many of this
 	// workload's ops the tracer sampled, and their per-sampled-op phase
 	// attribution. Absent without -trace, so older reports still validate.
@@ -114,6 +121,9 @@ func ValidateReport(data []byte) error {
 	for i, r := range rep.Results {
 		if r.Tree == "" || r.Workload == "" || r.Ops <= 0 || r.OpsPerSec <= 0 {
 			return fmt.Errorf("bench: results[%d] malformed: %+v", i, r)
+		}
+		if r.Shards < 0 || r.Clients < 0 || r.HTMAbortRatio < 0 {
+			return fmt.Errorf("bench: results[%d] has negative shard fields: %+v", i, r)
 		}
 		if len(r.Phases) > 0 && rep.TraceSampleEvery <= 0 {
 			return fmt.Errorf("bench: results[%d] has phase attribution but no trace_sample_every", i)

@@ -1,0 +1,202 @@
+package bench
+
+// The memcached shard-scaling experiment: the Section 6.4 server with its
+// keyspace hash-partitioned over N independent FPTree shards, driven by the
+// in-process mc-benchmark over real loopback TCP. The paper's single-tree
+// memcached integration tops out on the contention of one concurrency domain
+// (fallback-lock serialization under occCC); sharding multiplies the domains,
+// so throughput under many clients should scale with the shard count until
+// cores run out. The suite records throughput, tail latency and the
+// fleet-wide HTM/OCC abort ratio per (shards, clients) point.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fptree/internal/kvserver"
+	"fptree/internal/obs"
+	"fptree/internal/scm"
+)
+
+// MCShardConfig tunes the shard-scaling suite.
+type MCShardConfig struct {
+	Store     string // shard engine: "fptree" (locked, default) | "fptreec"
+	Shards    []int  // fleet widths to measure, e.g. [1, 2, 4]
+	Clients   []int  // benchmark connection counts per width, e.g. [8, 64]
+	Ops       int    // operations per phase (SET then GET)
+	ValueSize int    // payload bytes per SET
+	LatencyNS int    // emulated SCM latency; charged in sleep mode so
+	// concurrent shards' media waits overlap in wall-clock
+	// time as real SCM accesses would
+	JSONPath string // when set, append records to a -json report there
+}
+
+// mcShardPoint is one measured (shards, clients) cell.
+type mcShardPoint struct {
+	shards, clients  int
+	set, get         kvserver.BenchResult
+	abortRatio       float64
+	searches, aborts uint64
+}
+
+// MCShardBench measures memcached SET/GET throughput per fleet width and
+// client count, and derives the HTM/OCC abort ratio of each run from the
+// engines' own counters. With cfg.JSONPath the measurements are written as
+// standard workload records (workloads "mc_set"/"mc_get", tagged with shards
+// + clients + htm_abort_ratio).
+func MCShardBench(w io.Writer, cfg MCShardConfig) error {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 50000
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 32
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 4}
+	}
+	if len(cfg.Clients) == 0 {
+		cfg.Clients = []int{64}
+	}
+	switch cfg.Store {
+	case "":
+		cfg.Store = "fptree"
+	case "fptree", "fptreec":
+	default:
+		return fmt.Errorf("bench: unknown -mc store %q (want fptree or fptreec)", cfg.Store)
+	}
+	lat := scm.LatencyConfig{}
+	if cfg.LatencyNS > 0 {
+		lat = scm.LatencyConfig{
+			Mode:         scm.LatencySleep,
+			ReadLatency:  time.Duration(cfg.LatencyNS) * time.Nanosecond,
+			WriteLatency: time.Duration(cfg.LatencyNS) * time.Nanosecond,
+		}
+	}
+	tree := "FPTree"
+	if cfg.Store == "fptreec" {
+		tree = "FPTreeC"
+	}
+	fmt.Fprintf(w, "# memcached shard scaling: %s, %d ops per phase, %d B values, SCM latency %dns\n",
+		tree, cfg.Ops, cfg.ValueSize, cfg.LatencyNS)
+	fmt.Fprintf(w, "%7s %8s %12s %12s %12s %12s %12s\n",
+		"shards", "clients", "SET/s", "GET/s", "set_p99", "get_p99", "abort_ratio")
+
+	rep := newJSONReport(0)
+	var base float64 // single-shard SET/s per client count, for the speedup column
+	baseline := map[int]float64{}
+	for _, n := range cfg.Shards {
+		for _, clients := range cfg.Clients {
+			pt, err := runMCShardPoint(cfg.Store, n, clients, cfg.Ops, cfg.ValueSize, lat)
+			if err != nil {
+				return err
+			}
+			speedup := ""
+			if n == 1 {
+				baseline[clients] = pt.set.SetOps
+			} else if base = baseline[clients]; base > 0 {
+				speedup = fmt.Sprintf("  (%.2fx SET vs 1 shard)", pt.set.SetOps/base)
+			}
+			fmt.Fprintf(w, "%7d %8d %12.0f %12.0f %12v %12v %12.4f%s\n",
+				n, clients, pt.set.SetOps, pt.get.GetOps,
+				pt.set.SetLatency.P99, pt.get.GetLatency.P99, pt.abortRatio, speedup)
+
+			common := JSONWorkloadResult{
+				Tree:          tree,
+				Ops:           cfg.Ops,
+				Shards:        n,
+				Clients:       clients,
+				HTMAbortRatio: pt.abortRatio,
+			}
+			set := common
+			set.Workload = "mc_set"
+			set.OpsPerSec = pt.set.SetOps
+			set.P50NS = pt.set.SetLatency.P50.Nanoseconds()
+			set.P99NS = pt.set.SetLatency.P99.Nanoseconds()
+			get := common
+			get.Workload = "mc_get"
+			get.OpsPerSec = pt.get.GetOps
+			get.P50NS = pt.get.GetLatency.P50.Nanoseconds()
+			get.P99NS = pt.get.GetLatency.P99.Nanoseconds()
+			rep.Results = append(rep.Results, set, get)
+		}
+	}
+
+	if cfg.JSONPath != "" {
+		if err := writeJSONReport(rep, cfg.JSONPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d shard-scaling records to %s\n", len(rep.Results), cfg.JSONPath)
+	}
+	return nil
+}
+
+// runMCShardPoint serves one fleet of n shard trees (a plain store for
+// n == 1, the router otherwise) and runs the SET+GET benchmark against it
+// with the given connection count.
+func runMCShardPoint(kind string, n, clients, ops, valueSize int, lat scm.LatencyConfig) (mcShardPoint, error) {
+	mb := 64 + ops/1000
+	newShard := func(p *scm.Pool) (kvserver.Store, error) {
+		if kind == "fptreec" {
+			return kvserver.NewFPTreeCStore(p)
+		}
+		return kvserver.NewFPTreeStore(p)
+	}
+	var store kvserver.Store
+	if n == 1 {
+		st, err := newShard(poolMB(mb, lat))
+		if err != nil {
+			return mcShardPoint{}, err
+		}
+		store = st
+	} else {
+		pools := make([]*scm.Pool, n)
+		for i := range pools {
+			pools[i] = poolMB(mb/n+1, lat)
+		}
+		stores, err := kvserver.BuildShardStores(n, func(i int) (kvserver.Store, error) {
+			return newShard(pools[i])
+		})
+		if err != nil {
+			return mcShardPoint{}, err
+		}
+		router, err := kvserver.NewShardedStore(stores, pools)
+		if err != nil {
+			return mcShardPoint{}, err
+		}
+		store = router
+	}
+
+	// Both the plain store and the router register the canonical
+	// fptree_searches_total / htm_aborts_total series (the router sums its
+	// shards under the same names), so one snapshot diff covers either shape.
+	reg := obs.NewRegistry()
+	if rm, ok := store.(interface{ RegisterMetrics(*obs.Registry) }); ok {
+		rm.RegisterMetrics(reg)
+	}
+
+	srv, addr, err := kvserver.Serve("127.0.0.1:0", store)
+	if err != nil {
+		return mcShardPoint{}, err
+	}
+	defer srv.Close()
+
+	before := reg.Snapshot()
+	res, err := kvserver.RunMCBenchmark(addr, clients, ops, valueSize)
+	if err != nil {
+		return mcShardPoint{}, err
+	}
+	d := reg.Snapshot().Sub(before)
+	pt := mcShardPoint{
+		shards:   n,
+		clients:  clients,
+		set:      res,
+		get:      res,
+		searches: uint64(d["fptree_searches_total"]),
+		aborts:   uint64(d["htm_aborts_total"]),
+	}
+	if pt.searches > 0 {
+		pt.abortRatio = float64(pt.aborts) / float64(pt.searches)
+	}
+	return pt, nil
+}

@@ -364,12 +364,12 @@ func (e *engine[K, V]) noteMutation() {
 // (nil for an empty tree). Used by invariant checks and the single-threaded
 // scan, where the no-op controller guarantees the first try succeeds.
 func (e *engine[K, V]) findLeafRef(key K) *leafRef {
-	for {
+	for attempt := 0; ; attempt++ {
 		_, _, _, ref, ok := e.descend(key)
 		if ok {
 			return ref
 		}
-		e.abortc(htm.AbortDescend, nil)
+		e.abortc(htm.AbortDescend, nil, attempt)
 	}
 }
 
@@ -387,23 +387,23 @@ func (e *engine[K, V]) Find(key K) (V, bool) {
 
 func (e *engine[K, V]) findT(key K, sp *trace.Span) (V, bool) {
 	var zero V
-	for {
+	for attempt := 0; ; attempt++ {
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abortc(htm.AbortDescend, sp)
+			e.abortc(htm.AbortDescend, sp, attempt)
 			continue
 		}
 		if ref == nil {
 			return zero, false // empty tree
 		}
 		if !e.cc.tryRLockLeaf(ref) {
-			e.abortc(htm.AbortLeafLock, sp)
+			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
 		if !e.cc.validate(&n.lock, ver) {
 			e.cc.rUnlockLeaf(ref)
-			e.abortc(htm.AbortPostLock, sp)
+			e.abortc(htm.AbortPostLock, sp, attempt)
 			continue
 		}
 		sp.Enter(trace.PhaseLeaf)
@@ -434,11 +434,11 @@ func (e *engine[K, V]) insertT(key K, value V, sp *trace.Span) error {
 		return err
 	}
 	e.noteMutation()
-	for {
+	for attempt := 0; ; attempt++ {
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abortc(htm.AbortDescend, sp)
+			e.abortc(htm.AbortDescend, sp, attempt)
 			continue
 		}
 		if ref == nil {
@@ -449,12 +449,12 @@ func (e *engine[K, V]) insertT(key K, value V, sp *trace.Span) error {
 			continue
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abortc(htm.AbortLeafLock, sp)
+			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abortc(htm.AbortPostLock, sp)
+			e.abortc(htm.AbortPostLock, sp, attempt)
 			continue
 		}
 		sp.Enter(trace.PhaseLeaf)
@@ -666,23 +666,23 @@ func (e *engine[K, V]) Update(key K, value V) (bool, error) {
 
 func (e *engine[K, V]) updateT(key K, value V, sp *trace.Span) (bool, error) {
 	e.noteMutation()
-	for {
+	for attempt := 0; ; attempt++ {
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abortc(htm.AbortDescend, sp)
+			e.abortc(htm.AbortDescend, sp, attempt)
 			continue
 		}
 		if ref == nil {
 			return false, nil
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abortc(htm.AbortLeafLock, sp)
+			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abortc(htm.AbortPostLock, sp)
+			e.abortc(htm.AbortPostLock, sp, attempt)
 			continue
 		}
 		sp.Enter(trace.PhaseLeaf)
@@ -751,23 +751,23 @@ func (e *engine[K, V]) Delete(key K) (bool, error) {
 
 func (e *engine[K, V]) deleteT(key K, sp *trace.Span) (bool, error) {
 	e.noteMutation()
-	for {
+	for attempt := 0; ; attempt++ {
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
-			e.abortc(htm.AbortDescend, sp)
+			e.abortc(htm.AbortDescend, sp, attempt)
 			continue
 		}
 		if ref == nil {
 			return false, nil
 		}
 		if !e.cc.tryLockLeaf(ref) {
-			e.abortc(htm.AbortLeafLock, sp)
+			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
 		if ref.dead.Load() || !e.cc.validate(&n.lock, ver) {
 			e.cc.unlockLeaf(ref)
-			e.abortc(htm.AbortPostLock, sp)
+			e.abortc(htm.AbortPostLock, sp, attempt)
 			continue
 		}
 		sp.Enter(trace.PhaseLeaf)
@@ -1049,6 +1049,7 @@ func (e *engine[K, V]) scanChase(from K, fn func(K, V) bool, sp *trace.Span) {
 func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool, sp *trace.Span) {
 	cur := from
 	batch := make([]kvPair[K, V], 0, e.sh.cap)
+	attempt := 0 // consecutive aborts at the current position; resets per leaf
 	for {
 		batch = batch[:0]
 		var ub K
@@ -1084,9 +1085,11 @@ func (e *engine[K, V]) scanSeek(from K, fn func(K, V) bool, sp *trace.Span) {
 			return true
 		}()
 		if !ok {
-			e.abortc(htm.AbortIter, sp)
+			e.abortc(htm.AbortIter, sp, attempt)
+			attempt++
 			continue
 		}
+		attempt = 0
 		e.sortPairs(batch)
 		for _, kv := range batch {
 			if !fn(kv.k, kv.v) {

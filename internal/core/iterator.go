@@ -271,10 +271,10 @@ func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 	e := it.e
 	sp := e.tr.Start(trace.OpIterSeek)
 	sp.Enter(trace.PhaseDescend)
-	for {
+	for attempt := 0; ; attempt++ {
 		n, ver, ref, lb, ub, ok := e.descendIter(target, rightmost)
 		if !ok {
-			e.abortc(htm.AbortIter, sp)
+			e.abortc(htm.AbortIter, sp, attempt)
 			continue
 		}
 		if ref == nil {
@@ -282,12 +282,12 @@ func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 			return false // empty tree
 		}
 		if !e.cc.tryRLockLeaf(ref) {
-			e.abortc(htm.AbortLeafLock, sp)
+			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
 		if !e.cc.validate(&n.lock, ver) {
 			e.cc.rUnlockLeaf(ref)
-			e.abortc(htm.AbortPostLock, sp)
+			e.abortc(htm.AbortPostLock, sp, attempt)
 			continue
 		}
 		// ver and content form a consistent pair: writers bump ref.ver

@@ -20,9 +20,13 @@ func (e *engine[K, V]) Tracer() *trace.Tracer { return e.tr }
 
 // abortc records one optimistic-validation failure: the crash-injection
 // check every retry loop must make, the cause-tagged htm counters, and the
-// (possibly nil) span of the operation that must now restart.
-func (e *engine[K, V]) abortc(c htm.AbortCause, sp *trace.Span) {
+// (possibly nil) span of the operation that must now restart. attempt is the
+// operation's abort count so far; it paces the retry through htm.Backoff so
+// a long-held conflict parks the goroutine instead of spinning — the TSX
+// retry budget followed by the fallback wait.
+func (e *engine[K, V]) abortc(c htm.AbortCause, sp *trace.Span, attempt int) {
 	e.pool.PanicIfCrashed()
 	e.Stats.NoteAbort(c)
 	sp.Abort(c)
+	htm.Backoff(attempt)
 }

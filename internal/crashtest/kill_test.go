@@ -26,14 +26,19 @@ import (
 )
 
 const (
-	killChildEnv = "FPTREE_KILL_CHILD"
-	killPathEnv  = "FPTREE_KILL_PATH"
-	killStartEnv = "FPTREE_KILL_START"
+	killChildEnv  = "FPTREE_KILL_CHILD"
+	killPathEnv   = "FPTREE_KILL_PATH"
+	killStartEnv  = "FPTREE_KILL_START"
+	killShardsEnv = "FPTREE_KILL_SHARDS" // > 1: run the sharded-router child
 )
 
 func TestMain(m *testing.M) {
 	if os.Getenv(killChildEnv) == "1" {
-		killChildMain()
+		if shards := os.Getenv(killShardsEnv); shards != "" && shards != "1" {
+			killShardedChildMain()
+		} else {
+			killChildMain()
+		}
 		return
 	}
 	os.Exit(m.Run())
@@ -101,6 +106,13 @@ func killTraceOp(i int) (key, val string, del bool) {
 // returns the acked step indices (in order).
 func killOneChild(t *testing.T, path string, start, minAcks int) []int {
 	t.Helper()
+	return killOneChildEnv(t, path, start, minAcks, nil)
+}
+
+// killOneChildEnv is killOneChild with extra child environment entries (the
+// sharded variant passes its shard count through).
+func killOneChildEnv(t *testing.T, path string, start, minAcks int, extraEnv []string) []int {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
@@ -111,6 +123,7 @@ func killOneChild(t *testing.T, path string, start, minAcks int) []int {
 		killPathEnv+"="+path,
 		fmt.Sprintf("%s=%d", killStartEnv, start),
 	)
+	cmd.Env = append(cmd.Env, extraEnv...)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // VersionLock is a word combining a lock bit with a version counter, the core
@@ -185,6 +186,27 @@ type SpecMutex struct {
 
 // DefaultMaxRetries matches the common TSX retry budget.
 const DefaultMaxRetries = 8
+
+// Backoff paces one optimistic retry loop between aborts. Real TSX retries a
+// conflicted transaction immediately only for a bounded budget and then
+// blocks on the fallback lock; an unbounded Gosched spin instead lets a
+// single long-held lock (e.g. a writer paying emulated SCM latency inside
+// its critical section) farm thousands of counted aborts per conflict on a
+// small machine, inflating the abort telemetry beyond anything real hardware
+// can produce. Within the budget Backoff just yields; past it, it parks the
+// goroutine with exponentially growing sleeps capped at 64µs — the
+// scheduling analogue of waiting on the fallback path.
+func Backoff(attempt int) {
+	if attempt < DefaultMaxRetries {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt - DefaultMaxRetries
+	if shift > 6 {
+		shift = 6
+	}
+	time.Sleep(time.Microsecond << shift)
+}
 
 // Guard is the per-attempt state of a speculative critical section.
 type Guard struct {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestVersionLockReadValidate(t *testing.T) {
@@ -375,5 +376,31 @@ func TestRWSpinConcurrentMutualExclusion(t *testing.T) {
 	wg.Wait()
 	if violations.Load() != 0 {
 		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+}
+
+func TestBackoffBudgetThenParks(t *testing.T) {
+	// Within the retry budget Backoff must return essentially immediately
+	// (it only yields); past the budget it must actually park the goroutine.
+	start := time.Now()
+	for a := 0; a < DefaultMaxRetries; a++ {
+		Backoff(a)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("in-budget backoff too slow: %v", d)
+	}
+
+	start = time.Now()
+	Backoff(DefaultMaxRetries + 6) // deepest tier: 64µs sleep
+	if d := time.Since(start); d < 64*time.Microsecond {
+		t.Fatalf("deep backoff returned in %v, want >= 64µs sleep", d)
+	}
+
+	// The sleep tier is capped: absurd attempt counts must not sleep longer
+	// than the deepest tier by orders of magnitude.
+	start = time.Now()
+	Backoff(1 << 20)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("capped backoff too slow: %v", d)
 	}
 }

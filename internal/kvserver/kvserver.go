@@ -9,6 +9,7 @@ package kvserver
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -309,6 +310,11 @@ type Config struct {
 	// Pool, when set, adds the SCM emulator counters (scm_* lines) to the
 	// `stats` command output.
 	Pool *scm.Pool
+	// Pools lists every SCM pool behind a sharded store; `stats` reports the
+	// scm_* counters summed across them and /metrics exposes both the
+	// aggregate and per-shard labeled series. When empty, Pool (if any) is
+	// used alone. Setting both is equivalent to Pools alone.
+	Pools []*scm.Pool
 	// Events, when set, receives noteworthy server events (rejected
 	// connections, store errors, slow requests) for the /debug/events
 	// endpoint.
@@ -353,6 +359,9 @@ func ServeConfig(addr string, store Store, cfg Config) (*Server, string, error) 
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = defaultDrainTimeout
 	}
+	if len(cfg.Pools) == 0 && cfg.Pool != nil {
+		cfg.Pools = []*scm.Pool{cfg.Pool}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
@@ -378,8 +387,8 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // ("fptree"/"htm") when the engine provides them.
 func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	s.metrics.RegisterMetrics(reg, "memkv")
-	if s.cfg.Pool != nil {
-		s.cfg.Pool.RegisterMetrics(reg, "scm")
+	if len(s.cfg.Pools) > 0 {
+		scm.RegisterPoolsMetrics(reg, "scm", s.cfg.Pools)
 	}
 	if ms, ok := s.store.(interface{ RegisterMetrics(*obs.Registry) }); ok {
 		ms.RegisterMetrics(reg)
@@ -443,11 +452,21 @@ func (s *Server) DumpStats(w io.Writer) {
 func (s *Server) writeStats(w io.Writer, eol string) {
 	fmt.Fprintf(w, "STAT version %s%s", Version, eol)
 	fmt.Fprintf(w, "STAT engine %s%s", s.store.Name(), eol)
+	if ss, ok := s.store.(ShardStatser); ok {
+		fmt.Fprintf(w, "STAT shards %d%s", ss.NumShards(), eol)
+	}
 	s.metrics.writeTo(w, eol)
-	if s.cfg.Pool != nil {
-		ps := s.cfg.Pool.Stats().Snapshot()
+	if len(s.cfg.Pools) > 0 {
+		// One scm_* block regardless of shard count: counters summed across
+		// every shard pool (`stats shards` breaks them out per shard).
+		var size int64
+		var ps scm.StatsSnapshot
+		for _, p := range s.cfg.Pools {
+			size += p.Size()
+			ps = ps.Add(p.Stats().Snapshot())
+		}
 		stat := func(k string, v interface{}) { fmt.Fprintf(w, "STAT %s %v%s", k, v, eol) }
-		stat("scm_pool_bytes", s.cfg.Pool.Size())
+		stat("scm_pool_bytes", size)
 		stat("scm_reads", ps.Reads)
 		stat("scm_writes", ps.Writes)
 		stat("scm_read_hits", ps.ReadHits)
@@ -509,31 +528,103 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// pipelineDepth bounds the per-connection reply queue: the reader/executor
+// may run this many commands ahead of the writer before back-pressure blocks
+// it. Replies stay strictly in command order — the queue is the order.
+const pipelineDepth = 128
+
+// replyBufPool recycles the per-command reply buffers that travel from the
+// reader/executor goroutine to the connection's writer goroutine.
+var replyBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+func getReplyBuf() *bytes.Buffer {
+	b := replyBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// connWriter is the write half of a pipelined connection: an in-order queue
+// of reply buffers drained by one goroutine that coalesces every reply
+// already queued into a single buffered flush — hundreds of pipelined
+// commands cost one write syscall per readable burst instead of one each.
+type connWriter struct {
+	out    chan *bytes.Buffer
+	done   chan struct{}
+	failed atomic.Bool // a flush failed; the connection is dead for writing
+}
+
+// run drains the queue until it is closed. After a write failure it keeps
+// draining (recycling buffers, writing nothing) so the reader never blocks
+// on a dead writer.
+func (cw *connWriter) run(s *Server, conn net.Conn, w *bufio.Writer) {
+	defer close(cw.done)
+	flush := func() {
+		if cw.failed.Load() || w.Buffered() == 0 {
+			return
+		}
+		if s.cfg.WriteTimeout > 0 && !s.closing.Load() {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		if w.Flush() != nil {
+			cw.failed.Store(true)
+		}
+	}
+	write := func(b *bytes.Buffer) {
+		if !cw.failed.Load() {
+			w.Write(b.Bytes()) // errors are sticky and surface at Flush
+		}
+		replyBufPool.Put(b)
+	}
+	for buf := range cw.out {
+		write(buf)
+		// Coalesce the burst: fold in every reply already queued before
+		// paying the flush syscall.
+		for coalescing := true; coalescing; {
+			select {
+			case more, ok := <-cw.out:
+				if !ok {
+					flush()
+					return
+				}
+				write(more)
+			default:
+				coalescing = false
+			}
+		}
+		flush()
+	}
+	flush()
+}
+
 func (s *Server) handle(conn net.Conn) {
+	m := &s.metrics
+	r := bufio.NewReader(countingReader{conn, &m.BytesRead})
+	w := bufio.NewWriter(countingWriter{conn, &m.BytesWritten})
+	cw := &connWriter{out: make(chan *bytes.Buffer, pipelineDepth), done: make(chan struct{})}
+	go cw.run(s, conn, w)
 	defer func() {
+		close(cw.out)
+		<-cw.done // final flush of any queued replies (e.g. after quit)
 		conn.Close()
 		s.untrack(conn)
 		s.metrics.CurrConnections.Add(-1)
 	}()
 	s.metrics.CurrConnections.Add(1)
-	m := &s.metrics
-	r := bufio.NewReader(countingReader{conn, &m.BytesRead})
-	w := bufio.NewWriter(countingWriter{conn, &m.BytesWritten})
-	flush := func() bool {
-		if w.Buffered() == 0 {
-			return true
+	enqueue := func(b *bytes.Buffer) bool {
+		if cw.failed.Load() {
+			replyBufPool.Put(b)
+			return false
 		}
-		if s.cfg.WriteTimeout > 0 && !s.closing.Load() {
-			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		}
-		return w.Flush() == nil
+		cw.out <- b
+		return true
 	}
 	reply := func(msg string) bool {
-		w.WriteString(msg)
-		return flush()
+		b := getReplyBuf()
+		b.WriteString(msg)
+		return enqueue(b)
 	}
 	for {
-		if s.closing.Load() {
+		if s.closing.Load() || cw.failed.Load() {
 			return
 		}
 		if s.cfg.ReadTimeout > 0 && !s.closing.Load() {
@@ -559,7 +650,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "get", "gets":
 			sp := s.cfg.Tracer.Start(trace.OpReqGet)
-			keep := s.cmdGet(sp, fields, w, reply, flush, start)
+			keep := s.cmdGet(sp, fields, enqueue, start)
 			sp.Finish()
 			s.noteSlow("get", fields, start)
 			if !keep {
@@ -575,9 +666,23 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		case "stats":
 			m.CmdStats.Add(1)
-			s.writeStats(w, "\r\n")
-			w.WriteString("END\r\n")
-			if !flush() {
+			b := getReplyBuf()
+			if len(fields) == 2 && fields[1] == "shards" {
+				ss, ok := s.store.(ShardStatser)
+				if !ok {
+					m.ProtocolErrors.Add(1)
+					b.WriteString("ERROR\r\n")
+					if !enqueue(b) {
+						return
+					}
+					continue
+				}
+				writeShardStats(b, ss, "\r\n")
+			} else {
+				s.writeStats(b, "\r\n")
+			}
+			b.WriteString("END\r\n")
+			if !enqueue(b) {
 				return
 			}
 		case "version":
@@ -586,7 +691,6 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case "quit":
-			flush()
 			return
 		default:
 			m.ProtocolErrors.Add(1)
@@ -678,30 +782,34 @@ func (s *Server) cmdSet(sp *trace.Span, fields []string, r *bufio.Reader, reply 
 }
 
 // cmdGet handles one `get <key>...` command; it reports whether the
-// connection should stay open.
-func (s *Server) cmdGet(sp *trace.Span, fields []string, w *bufio.Writer, reply func(string) bool, flush func() bool, start time.Time) bool {
+// connection should stay open. The whole response (VALUE blocks + END) is
+// built in one reply buffer and enqueued as a unit, so pipelined gets
+// coalesce into the writer's per-burst flush.
+func (s *Server) cmdGet(sp *trace.Span, fields []string, enqueue func(*bytes.Buffer) bool, start time.Time) bool {
 	sp.Enter(trace.PhaseParse)
 	m := &s.metrics
+	b := getReplyBuf()
 	if len(fields) < 2 {
 		m.ProtocolErrors.Add(1)
-		return reply("ERROR\r\n")
+		b.WriteString("ERROR\r\n")
+		return enqueue(b)
 	}
 	sp.Enter(trace.PhaseStore)
 	for _, key := range fields[1:] {
 		m.CmdGet.Add(1)
 		if v, ok := s.store.Get([]byte(key)); ok {
 			m.GetHits.Add(1)
-			fmt.Fprintf(w, "VALUE %s 0 %d\r\n", key, len(v))
-			w.Write(v)
-			w.WriteString("\r\n")
+			fmt.Fprintf(b, "VALUE %s 0 %d\r\n", key, len(v))
+			b.Write(v)
+			b.WriteString("\r\n")
 		} else {
 			m.GetMisses.Add(1)
 		}
 	}
 	sp.Enter(trace.PhaseReply)
-	w.WriteString("END\r\n")
+	b.WriteString("END\r\n")
 	m.GetLatency.Observe(time.Since(start))
-	return flush()
+	return enqueue(b)
 }
 
 // cmdDelete handles one `delete <key> [noreply]` command; it reports whether

@@ -121,6 +121,33 @@ func FetchServerStats(addr string, timeout time.Duration) (map[string]string, er
 	return c.stats()
 }
 
+// FetchShardStats dials addr and returns the server's `stats shards` output
+// (the per-shard verbose form a sharded server answers) as a name → value
+// map. It fails against an unsharded server.
+func FetchShardStats(addr string, timeout time.Duration) (map[string]string, error) {
+	c, err := dialMC(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	c.timeout = timeout
+	return c.statsCmd("stats shards")
+}
+
+// ShardLens extracts the per-shard key counts (shard<i>_len) from a `stats
+// shards` map, index-ordered. It returns nil if the map lacks a shards line.
+func ShardLens(stats map[string]string) []uint64 {
+	n, err := strconv.Atoi(stats["shards"])
+	if err != nil || n < 1 {
+		return nil
+	}
+	lens := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		lens[i], _ = strconv.ParseUint(stats[fmt.Sprintf("shard%d_len", i)], 10, 64)
+	}
+	return lens
+}
+
 // StatsDelta returns after-minus-before for every stat whose values in both
 // maps parse as numbers (uptime, counters, the scm_* lines); non-numeric
 // stats (version, engine) and stats absent from either map are dropped.
@@ -279,8 +306,14 @@ func (c *mcConn) version() (string, error) {
 // stats issues the memcached stats command and returns the STAT lines as a
 // name → value map.
 func (c *mcConn) stats() (map[string]string, error) {
+	return c.statsCmd("stats")
+}
+
+// statsCmd issues a stats-family command ("stats", "stats shards") and
+// returns the STAT lines as a name → value map.
+func (c *mcConn) statsCmd(cmd string) (map[string]string, error) {
 	c.arm()
-	fmt.Fprintf(c.w, "stats\r\n")
+	fmt.Fprintf(c.w, "%s\r\n", cmd)
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
@@ -294,10 +327,15 @@ func (c *mcConn) stats() (map[string]string, error) {
 		if line == "END" {
 			return out, nil
 		}
-		var name, value string
-		if _, err := fmt.Sscanf(line, "STAT %s %s", &name, &value); err != nil {
+		if line == "ERROR" {
+			return nil, fmt.Errorf("%s: server answered ERROR (not a sharded server?)", cmd)
+		}
+		// Values may contain spaces (e.g. engine "FPTreeC[4 shards]"), so
+		// split into exactly three fields and keep the rest verbatim.
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 || parts[0] != "STAT" {
 			return nil, fmt.Errorf("stats: bad line %q", line)
 		}
-		out[name] = value
+		out[parts[1]] = parts[2]
 	}
 }

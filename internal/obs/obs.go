@@ -65,12 +65,17 @@ const (
 
 // metric is one registered series.
 type metric struct {
-	name string
-	help string
-	kind Kind
-	read func() float64 // counters and gauges
-	hist *Histogram     // histograms only
+	name   string
+	labels string // rendered label set (`{shard="0"}`), "" for unlabeled
+	help   string
+	kind   Kind
+	read   func() float64 // counters and gauges
+	hist   *Histogram     // histograms only
 }
+
+// series is the full identity of the metric: name plus rendered labels. It
+// is the Snapshot key and the sample name in the Prometheus exposition.
+func (m *metric) series() string { return m.name + m.labels }
 
 // Registry holds named metrics in registration order. Registration typically
 // happens once at startup; reads (Snapshot, WritePrometheus) are safe while
@@ -105,12 +110,16 @@ func (r *Registry) register(m *metric) {
 	if !validName(m.name) {
 		panic(fmt.Sprintf("obs: invalid metric name %q", m.name))
 	}
+	if m.labels != "" && m.kind == KindHistogram {
+		panic(fmt.Sprintf("obs: metric %q: labeled histograms are not supported", m.name))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.byName[m.name]; dup {
-		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	key := m.series()
+	if _, dup := r.byName[key]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", key))
 	}
-	r.byName[m.name] = m
+	r.byName[key] = m
 	r.order = append(r.order, m)
 }
 
@@ -158,7 +167,7 @@ func (r *Registry) Names() []string {
 	defer r.mu.RUnlock()
 	out := make([]string, len(r.order))
 	for i, m := range r.order {
-		out[i] = m.name
+		out[i] = m.series()
 	}
 	return out
 }
@@ -180,7 +189,7 @@ func (r *Registry) Snapshot() Snapshot {
 			s[m.name+"_sum_ns"] = float64(hs.Sum.Nanoseconds())
 			continue
 		}
-		s[m.name] = m.read()
+		s[m.series()] = m.read()
 	}
 	return s
 }

@@ -18,18 +18,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	bw := bufio.NewWriter(w)
+	announced := map[string]bool{} // family -> HELP/TYPE emitted
 	for _, m := range r.order {
-		help := strings.NewReplacer("\\", "\\\\", "\n", "\\n").Replace(m.help)
-		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, help)
+		// All series of one family (labeled variants of the same name) share
+		// a single HELP/TYPE header; the first registration announces it.
+		if !announced[m.name] {
+			announced[m.name] = true
+			help := strings.NewReplacer("\\", "\\\\", "\n", "\\n").Replace(m.help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, help)
+			switch m.kind {
+			case KindCounter:
+				fmt.Fprintf(bw, "# TYPE %s counter\n", m.name)
+			case KindGauge:
+				fmt.Fprintf(bw, "# TYPE %s gauge\n", m.name)
+			case KindHistogram:
+				fmt.Fprintf(bw, "# TYPE %s histogram\n", m.name)
+			}
+		}
 		switch m.kind {
-		case KindCounter:
-			fmt.Fprintf(bw, "# TYPE %s counter\n", m.name)
-			fmt.Fprintf(bw, "%s %s\n", m.name, formatValue(m.read()))
-		case KindGauge:
-			fmt.Fprintf(bw, "# TYPE %s gauge\n", m.name)
-			fmt.Fprintf(bw, "%s %s\n", m.name, formatValue(m.read()))
+		case KindCounter, KindGauge:
+			fmt.Fprintf(bw, "%s %s\n", m.series(), formatValue(m.read()))
 		case KindHistogram:
-			fmt.Fprintf(bw, "# TYPE %s histogram\n", m.name)
 			writeHistogram(bw, m.name, m.hist.Snapshot())
 		}
 	}

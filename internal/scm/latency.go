@@ -213,6 +213,24 @@ type StatsSnapshot struct {
 	SyncNanos    uint64
 }
 
+// Add returns the sum s + o, counter by counter — the aggregation the
+// sharded server uses to report one stats block across shard pools.
+func (s StatsSnapshot) Add(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Reads:        s.Reads + o.Reads,
+		Writes:       s.Writes + o.Writes,
+		ReadHits:     s.ReadHits + o.ReadHits,
+		ReadMisses:   s.ReadMisses + o.ReadMisses,
+		Flushes:      s.Flushes + o.Flushes,
+		Fences:       s.Fences + o.Fences,
+		Allocs:       s.Allocs + o.Allocs,
+		Frees:        s.Frees + o.Frees,
+		BytesFlushed: s.BytesFlushed + o.BytesFlushed,
+		Syncs:        s.Syncs + o.Syncs,
+		SyncNanos:    s.SyncNanos + o.SyncNanos,
+	}
+}
+
 // Sub returns the delta s - o, counter by counter.
 func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{

@@ -7,16 +7,19 @@ import (
 	"fptree/internal/obs"
 )
 
-// RegisterMetrics exposes the counters in s on reg under the given name
-// prefix (e.g. "scm"). The registered metrics read the live atomics, so a
-// snapshot of reg observes exactly what s.Snapshot would.
-func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
-	type entry struct {
+// statsEntries enumerates the counters of s in registration order; the single
+// table keeps single-pool, multi-pool and labeled registration in sync (the
+// drift test pins Stats fields against registered names).
+func statsEntries(s *Stats) []struct {
+	suffix string
+	help   string
+	src    interface{ Load() uint64 }
+} {
+	return []struct {
 		suffix string
 		help   string
 		src    interface{ Load() uint64 }
-	}
-	for _, e := range []entry{
+	}{
 		{"reads_total", "SCM load operations of any size", &s.Reads},
 		{"writes_total", "SCM store operations of any size", &s.Writes},
 		{"read_hits_total", "line accesses served by the simulated CPU cache", &s.ReadHits},
@@ -28,7 +31,14 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
 		{"bytes_flushed_total", "payload bytes made durable", &s.BytesFlushed},
 		{"syncs_total", "arena-file syncs (msync/fdatasync equivalents)", &s.Syncs},
 		{"sync_nanos_total", "wall-clock nanoseconds spent in arena-file syncs", &s.SyncNanos},
-	} {
+	}
+}
+
+// RegisterMetrics exposes the counters in s on reg under the given name
+// prefix (e.g. "scm"). The registered metrics read the live atomics, so a
+// snapshot of reg observes exactly what s.Snapshot would.
+func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
+	for _, e := range statsEntries(s) {
 		reg.CounterFunc(fmt.Sprintf("%s_%s", prefix, e.suffix), e.help, e.src.Load)
 	}
 }
@@ -43,4 +53,59 @@ func (p *Pool) RegisterMetrics(reg *obs.Registry, prefix string) {
 		func() float64 { return float64(len(p.mem)) })
 	reg.GaugeFunc(prefix+"_pool_allocated_bytes", "bytes claimed by the bump allocator",
 		func() float64 { return float64(binary.LittleEndian.Uint64(p.mem[offBump:])) })
+}
+
+// RegisterPoolsMetrics registers the pools' counters summed across the fleet
+// under the same names Pool.RegisterMetrics would use for one pool — so the
+// sharded server exposes one scm_flushes_total regardless of shard count —
+// plus per-shard labeled series (`scm_flushes_total{shard="2"}`) for the
+// counters and capacity gauges of every individual pool.
+func RegisterPoolsMetrics(reg *obs.Registry, prefix string, pools []*Pool) {
+	if len(pools) == 1 {
+		pools[0].RegisterMetrics(reg, prefix)
+		return
+	}
+	// Aggregates first, so the unlabeled sample leads its family.
+	var probe Stats
+	for i, e := range statsEntries(&probe) {
+		srcs := make([]interface{ Load() uint64 }, len(pools))
+		for j, p := range pools {
+			srcs[j] = statsEntries(&p.stats)[i].src
+		}
+		reg.CounterFunc(fmt.Sprintf("%s_%s", prefix, e.suffix), e.help+" (summed across shards)",
+			func() uint64 {
+				var sum uint64
+				for _, s := range srcs {
+					sum += s.Load()
+				}
+				return sum
+			})
+	}
+	reg.GaugeFunc(prefix+"_pool_size_bytes", "arena capacity in bytes (summed across shards)",
+		func() float64 {
+			var sum float64
+			for _, p := range pools {
+				sum += float64(len(p.mem))
+			}
+			return sum
+		})
+	reg.GaugeFunc(prefix+"_pool_allocated_bytes", "bytes claimed by the bump allocators (summed across shards)",
+		func() float64 {
+			var sum float64
+			for _, p := range pools {
+				sum += float64(binary.LittleEndian.Uint64(p.mem[offBump:]))
+			}
+			return sum
+		})
+	for i, p := range pools {
+		p := p
+		lbl := obs.ShardLabel(i)
+		for _, e := range statsEntries(&p.stats) {
+			reg.CounterFuncL(fmt.Sprintf("%s_%s", prefix, e.suffix), lbl, e.help, e.src.Load)
+		}
+		reg.GaugeFuncL(prefix+"_pool_size_bytes", lbl, "arena capacity in bytes",
+			func() float64 { return float64(len(p.mem)) })
+		reg.GaugeFuncL(prefix+"_pool_allocated_bytes", lbl, "bytes claimed by the bump allocator",
+			func() float64 { return float64(binary.LittleEndian.Uint64(p.mem[offBump:])) })
+	}
 }

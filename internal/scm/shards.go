@@ -1,0 +1,114 @@
+package scm
+
+// Multi-arena helpers for sharded stores: a keyspace partitioned over N
+// independent FPTree shards keeps one arena file per shard
+// (<data>.shard<i>), so shards never contend on an allocator or a durable
+// region and each one recovers independently. These helpers open, sync and
+// close the whole fleet with the same create-or-recover semantics OpenFile
+// gives a single arena.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ShardPath returns the arena file path of shard i of a sharded data path:
+// "<path>.shard<i>".
+func ShardPath(path string, i int) string {
+	return fmt.Sprintf("%s.shard%d", path, i)
+}
+
+// OpenFileShards opens (or creates) the n shard arena files of path, each
+// with create-or-recover semantics (see OpenFile). recovered[i] reports
+// whether shard i held an existing image. capacityEach sizes each fresh
+// shard arena.
+//
+// The on-disk shard count is part of the store's identity — a key hashed to
+// shard 2 of 4 is unreachable in a 2-shard layout — so the open fails when
+// the directory holds shard files beyond index n-1 (the store was previously
+// run with more shards). Missing files among 0..n-1 are created fresh, which
+// keeps a crash during first-time formatting recoverable.
+//
+// On error, any pools opened so far are closed; on success the caller owns
+// all n pools and should release them with ClosePools (or SyncPools for
+// periodic power-fail durability).
+func OpenFileShards(path string, n int, capacityEach int64, cfg LatencyConfig) (pools []*Pool, recovered []bool, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("scm: shard count %d < 1", n)
+	}
+	if extra, err := strayShards(path, n); err != nil {
+		return nil, nil, err
+	} else if len(extra) > 0 {
+		return nil, nil, fmt.Errorf("scm: %s was sharded wider than %d (found %s); reopen with the original shard count",
+			path, n, strings.Join(extra, ", "))
+	}
+	pools = make([]*Pool, n)
+	recovered = make([]bool, n)
+	for i := 0; i < n; i++ {
+		p, rec, err := OpenFile(ShardPath(path, i), capacityEach, cfg)
+		if err != nil {
+			ClosePools(pools[:i]) //nolint:errcheck — surfacing the open error
+			return nil, nil, fmt.Errorf("scm: shard %d/%d: %w", i, n, err)
+		}
+		pools[i], recovered[i] = p, rec
+	}
+	return pools, recovered, nil
+}
+
+// strayShards lists shard files of path with index >= n.
+func strayShards(path string, n int) ([]string, error) {
+	dir := filepath.Dir(path)
+	prefix := filepath.Base(path) + ".shard"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var extra []string
+	for _, e := range entries {
+		idx, ok := strings.CutPrefix(e.Name(), prefix)
+		if !ok {
+			continue
+		}
+		if i, err := strconv.Atoi(idx); err == nil && i >= n {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra, nil
+}
+
+// SyncPools makes every pool's durable view power-fail durable (Pool.Sync on
+// each). All pools are synced even if one fails; the first error wins.
+func SyncPools(pools []*Pool) error {
+	var first error
+	for _, p := range pools {
+		if p == nil {
+			continue
+		}
+		if err := p.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ClosePools closes every pool (clean-shutdown marker + sync + release). All
+// pools are closed even if one fails; the first error wins. nil entries are
+// skipped, so partially-built fleets can be torn down with it.
+func ClosePools(pools []*Pool) error {
+	var first error
+	for _, p := range pools {
+		if p == nil {
+			continue
+		}
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
