@@ -45,6 +45,15 @@
 // point; with -json the records land in the standard schema tagged with
 // shards/clients/htm_abort_ratio.
 //
+// -contention runs the contention sweep: a read/update mix on the concurrent
+// FPTree at each -contention-goroutines count under uniform and zipfian-hot
+// key distributions, each point measured twice — fixed retry budget vs. the
+// adaptive controller (see CONCURRENCY.md). Reports throughput, tail latency,
+// the abort ratio, and the controller's fallback entries and final budget;
+// with -json the records land in the standard schema tagged with
+// cc_mode/fallback_entries/retry_budget. BENCH_contention.json at the
+// repository root is the committed A/B record.
+//
 // -check-json <path> validates an existing -json document against the report
 // schema and exits; CI's recovery-smoke job runs it over fresh output.
 package main
@@ -103,6 +112,14 @@ func main() {
 		ycsbThr    = flag.Int("ycsb-threads", 1, "client goroutines for -ycsb")
 		ycsbScan   = flag.Int("ycsb-scan", 100, "max scan length for -ycsb workload E")
 		ycsbSeed   = flag.Int64("ycsb-seed", 1, "base RNG seed for -ycsb")
+		cont       = flag.Bool("contention", false, "run the contention sweep: fixed vs adaptive concurrency control per (distribution, goroutines) point")
+		contGos    = flag.String("contention-goroutines", "1,2,4,8", "comma-separated goroutine counts for -contention")
+		contDists  = flag.String("contention-dists", "uniform,zipfian", "comma-separated key distributions for -contention (uniform | zipfian)")
+		contRec    = flag.Int("contention-records", 50000, "preloaded sequential keys per -contention point")
+		contUpd    = flag.Int("contention-update", 50, "update percentage of the -contention mix (rest are finds)")
+		contLat    = flag.Int("contention-latency", 1000, "emulated SCM latency in ns for -contention (sleep mode; 0 = off)")
+		contTrials = flag.Int("contention-trials", 3, "trials per -contention point; the median trial by throughput is reported")
+		contSeed   = flag.Int64("contention-seed", 1, "base RNG seed for -contention")
 	)
 	flag.Parse()
 
@@ -181,6 +198,19 @@ func main() {
 			JSONPath:  *jsonOut,
 		}
 		run("ycsb", func() error { return bench.YCSBBench(w, cfg) })
+	} else if *cont {
+		cfg := bench.ContentionConfig{
+			Goroutines: parseIntList("contention-goroutines", *contGos),
+			Dists:      strings.Split(*contDists, ","),
+			Records:    *contRec,
+			Ops:        *ops,
+			UpdatePct:  *contUpd,
+			LatencyNS:  *contLat,
+			Trials:     *contTrials,
+			Seed:       *contSeed,
+			JSONPath:   *jsonOut,
+		}
+		run("contention", func() error { return bench.ContentionBench(w, cfg) })
 	} else if *jsonOut != "" {
 		every := 0
 		if *traceOn {
@@ -188,7 +218,7 @@ func main() {
 		}
 		run("json", func() error { return bench.JSONBench(w, *jsonOut, sc, every) })
 	}
-	if (*stats || *recovery || *ycsb || *mc || *jsonOut != "") && !expSet {
+	if (*stats || *recovery || *ycsb || *mc || *cont || *jsonOut != "") && !expSet {
 		return
 	}
 

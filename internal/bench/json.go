@@ -40,6 +40,14 @@ type JSONWorkloadResult struct {
 	Shards        int     `json:"shards,omitempty"`
 	Clients       int     `json:"clients,omitempty"`
 	HTMAbortRatio float64 `json:"htm_abort_ratio,omitempty"`
+	// CCMode, FallbackEntries and RetryBudget are emitted by the -contention
+	// sweep (ContentionBench): which concurrency-control policy the point ran
+	// under ("fixed" retry budget vs. "adaptive" controller), the writer
+	// entries into the global fallback lock, and the controller's final live
+	// retry budget. Absent elsewhere.
+	CCMode          string `json:"cc_mode,omitempty"`
+	FallbackEntries uint64 `json:"fallback_entries,omitempty"`
+	RetryBudget     int    `json:"retry_budget,omitempty"`
 	// TraceSampled and Phases are emitted by -trace runs: how many of this
 	// workload's ops the tracer sampled, and their per-sampled-op phase
 	// attribution. Absent without -trace, so older reports still validate.
@@ -60,12 +68,12 @@ type JSONPhase struct {
 // intended for regression tracking: commit one baseline, diff later runs
 // against it.
 type JSONReport struct {
-	GeneratedAt string               `json:"generated_at"`
-	GoVersion   string               `json:"go_version"`
-	GOOS        string               `json:"goos"`
-	GOARCH      string               `json:"goarch"`
-	NumCPU      int                  `json:"num_cpu"`
-	Warm        int                  `json:"warm_keys"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	Warm        int    `json:"warm_keys"`
 	// TraceSampleEvery is the 1-in-N span sampling rate of a -trace run
 	// (the denominator behind every trace_sampled count); 0/absent when the
 	// report was produced without -trace.
@@ -124,6 +132,12 @@ func ValidateReport(data []byte) error {
 		}
 		if r.Shards < 0 || r.Clients < 0 || r.HTMAbortRatio < 0 {
 			return fmt.Errorf("bench: results[%d] has negative shard fields: %+v", i, r)
+		}
+		if r.CCMode != "" && r.CCMode != "fixed" && r.CCMode != "adaptive" {
+			return fmt.Errorf("bench: results[%d] has unknown cc_mode %q", i, r.CCMode)
+		}
+		if r.RetryBudget < 0 {
+			return fmt.Errorf("bench: results[%d] has negative retry_budget: %+v", i, r)
 		}
 		if len(r.Phases) > 0 && rep.TraceSampleEvery <= 0 {
 			return fmt.Errorf("bench: results[%d] has phase attribution but no trace_sample_every", i)

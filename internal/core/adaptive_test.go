@@ -1,0 +1,181 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fptree/internal/htm"
+)
+
+// TestAdaptiveControllerAttach: the facade promotes SetController/Controller,
+// single-threaded trees ignore it, and metrics registration picks up the
+// controller series.
+func TestAdaptiveControllerAttach(t *testing.T) {
+	ct := newCTree(t, Config{LeafCap: 8, InnerFanout: 4})
+	c := htm.NewAdaptiveController(htm.AdaptiveConfig{})
+	ct.SetController(c)
+	if ct.Controller() != c {
+		t.Fatal("controller not installed on concurrent tree")
+	}
+	st, err := Create(newPool(16), Config{LeafCap: 8, InnerFanout: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetController(c)
+	if st.Controller() != nil {
+		t.Fatal("single-threaded tree accepted a controller")
+	}
+}
+
+// TestAdaptiveOpsFeedController: completed operations reach the controller's
+// window clock, so adaptation actually runs against live traffic.
+func TestAdaptiveOpsFeedController(t *testing.T) {
+	ct := newCTree(t, Config{LeafCap: 8, InnerFanout: 4})
+	c := htm.NewAdaptiveController(htm.AdaptiveConfig{AdaptEvery: 64})
+	ct.SetController(c)
+	for i := uint64(1); i <= 200; i++ {
+		if err := ct.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if _, ok := ct.Find(i); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	if c.Stats.Adaptations.Load() == 0 {
+		t.Fatal("no adaptation windows fired under 400 ops with AdaptEvery=64")
+	}
+	if b := c.Budget(); b < c.Config().Floor || b > c.Config().Ceiling {
+		t.Fatalf("budget %d out of bounds", b)
+	}
+}
+
+// TestReaderConcurrentWithFallbackWriter is the race-enabled linearizability
+// check for Brown's refinement: with AlwaysFallback forcing every write
+// through the global fallback lock, optimistic readers must keep completing
+// (they validate leaf versions against the writer's publication point instead
+// of stalling on the lock) and every reader must observe a monotonically
+// non-decreasing register — each update commits its leaf-version bump before
+// the leaf lock is released, so no reader can see an older value after a
+// newer one.
+func TestReaderConcurrentWithFallbackWriter(t *testing.T) {
+	ct := newCTree(t, Config{LeafCap: 8, InnerFanout: 4})
+	c := htm.NewAdaptiveController(htm.AdaptiveConfig{AlwaysFallback: true})
+	ct.SetController(c)
+
+	const hot = uint64(500)
+	// Populate the hot key's neighborhood so reads traverse real inner nodes.
+	for i := uint64(1); i <= 1000; i++ {
+		if err := ct.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The writer keeps cycling through the fallback lock until every reader
+	// has banked readsEach overlapping reads (at least minWrites updates
+	// either way), so the test cannot pass without genuine reader progress
+	// alongside an active fallback writer — and cannot flake on a scheduler
+	// that briefly starves the readers, as a fixed write count can on one CPU.
+	const minWrites = 2000
+	const readers = 4
+	const readsEach = 50
+	var written atomic.Uint64
+	var done atomic.Int32
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer done.Add(1)
+			var last uint64
+			for reads := 0; reads < readsEach; {
+				if written.Load() == 0 {
+					// Only count reads that overlap the writer's fallback
+					// sections.
+					runtime.Gosched()
+					continue
+				}
+				v, ok := ct.Find(hot)
+				if !ok {
+					t.Error("hot key vanished")
+					return
+				}
+				if v < last {
+					t.Errorf("non-monotonic read: %d after %d", v, last)
+					return
+				}
+				last = v
+				reads++
+			}
+		}()
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for written.Load() < minWrites || int(done.Load()) < readers {
+		i := written.Load() + 1
+		ok, err := ct.Update(hot, i)
+		if err != nil || !ok {
+			t.Fatalf("update %d: ok=%v err=%v", i, ok, err)
+		}
+		written.Store(i)
+		if time.Now().After(deadline) {
+			t.Fatalf("readers starved: %d/%d done after %d writes", done.Load(), readers, i)
+		}
+	}
+	wg.Wait()
+
+	writes := written.Load()
+	if got := c.Stats.FallbackEntries.Load(); got < writes {
+		t.Fatalf("FallbackEntries = %d, want >= %d (AlwaysFallback)", got, writes)
+	}
+	if v, ok := ct.Find(hot); !ok || v != writes {
+		t.Fatalf("final value = %d,%v, want %d", v, ok, writes)
+	}
+}
+
+// TestAdaptiveConcurrentMixed drives contending writers and readers through
+// an adaptive controller end to end: the tree must stay correct, the budget
+// must stay in bounds, and the sustained single-leaf conflicts must have
+// produced adaptation traffic.
+func TestAdaptiveConcurrentMixed(t *testing.T) {
+	ct := newCTree(t, Config{LeafCap: 8, InnerFanout: 4})
+	c := htm.NewAdaptiveController(htm.AdaptiveConfig{AdaptEvery: 64})
+	ct.SetController(c)
+	for i := uint64(1); i <= 64; i++ {
+		if err := ct.Insert(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const writers, perWriter = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWriter; i++ {
+				key := uint64(w*3%8) + 1 // a few hot keys in one leaf
+				if _, err := ct.Update(key, uint64(i)); err != nil {
+					t.Errorf("update: %v", err)
+					return
+				}
+				if _, ok := ct.Find(key); !ok {
+					t.Error("hot key missing")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if b := c.Budget(); b < c.Config().Floor || b > c.Config().Ceiling {
+		t.Fatalf("budget %d out of bounds", b)
+	}
+	if c.Stats.Adaptations.Load() == 0 {
+		t.Fatal("no adaptation windows fired")
+	}
+	if n := ct.Len(); n != 64 {
+		t.Fatalf("Len = %d, want 64", n)
+	}
+}

@@ -62,6 +62,7 @@ func (occCC) tryRLockLeaf(r *leafRef) bool               { return r.lk.TryRLock(
 func (occCC) rUnlockLeaf(r *leafRef)                     { r.lk.RUnlock() }
 func (occCC) tryLockLeaf(r *leafRef) bool                { return r.lk.TryLock() }
 func (occCC) lockLeaf(r *leafRef)                        { r.lk.Lock() }
+
 // unlockLeaf bumps the leaf's modification version BEFORE releasing the
 // exclusive lock. The order matters: an iterator validates "version
 // unchanged" after caching content read under the shared lock, and the

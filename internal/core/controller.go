@@ -1,0 +1,80 @@
+package core
+
+import "fptree/internal/htm"
+
+// SetController installs an adaptive concurrency controller on the tree; nil
+// (the default) keeps the fixed htm.Backoff budget. Like SetTracer, the
+// facades promote this method and kvserver discovers it through an optional
+// interface, so any concurrent store can be steered without constructor
+// plumbing. Single-threaded trees ignore it: the nop controller never aborts,
+// so there is no signal to adapt on.
+//
+// Call before the tree serves traffic: the field is read without
+// synchronization on every operation.
+func (e *engine[K, V]) SetController(c *htm.AdaptiveController) {
+	if e.st {
+		return
+	}
+	e.ctrl = c
+}
+
+// Controller returns the installed adaptive controller (nil when the fixed
+// budget is in effect).
+func (e *engine[K, V]) Controller() *htm.AdaptiveController { return e.ctrl }
+
+// opDone reports one completed public operation to the controller — the
+// denominator of the abort ratio it steers on, and the clock that paces its
+// adaptation windows.
+func (e *engine[K, V]) opDone() {
+	if e.ctrl != nil {
+		e.ctrl.OnOp()
+	}
+}
+
+// maybeFallback is consulted by writers at the top of every retry attempt:
+// once the attempt count exceeds the controller's live budget the writer
+// takes the global fallback lock and keeps it until the operation completes
+// (releaseFallback), serializing budget-exhausted writers against each other
+// so a conflict storm collapses instead of feeding on itself.
+//
+// The fallback lock is a contention valve, not a correctness device: the
+// fallback writer still runs the full OLC protocol (descend, validate, leaf
+// locks), and correctness never depends on holding the lock. That is what
+// makes Brown's refinement safe by construction — optimistic readers never
+// look at the fallback lock; they validate leaf versions against the writer's
+// publication point (unlockLeaf bumps the version before releasing the leaf
+// lock), so a reader overlapping a fallback writer either sees a consistent
+// pre-image or aborts and retries, and never stalls on the global lock.
+func (e *engine[K, V]) maybeFallback(attempt int, held *bool) {
+	if *held || e.ctrl == nil {
+		return
+	}
+	if e.ctrl.ShouldFallback(attempt) {
+		e.ctrl.EnterFallback()
+		*held = true
+	}
+}
+
+// releaseFallback releases the fallback lock if this operation entered it.
+func (e *engine[K, V]) releaseFallback(held *bool) {
+	if *held {
+		e.ctrl.ExitFallback()
+		*held = false
+	}
+}
+
+// lockLeafCC acquires the leaf write lock for one write attempt. On the
+// optimistic path a held lock is a conflict: fail fast, abort, re-descend.
+// A fallback writer is already serialized behind the controller's global
+// lock, so it blocks for the leaf instead — the try/abort/re-descend cycle
+// is exactly the stampede the fallback exists to stop, and waiting costs
+// nothing it wasn't already paying. Blocking trades no correctness: the
+// post-lock validation (ref.dead, inner version) still runs, so a leaf that
+// split or died while we waited sends the writer back around the loop.
+func (e *engine[K, V]) lockLeafCC(ref *leafRef, fb bool) bool {
+	if fb {
+		e.cc.lockLeaf(ref)
+		return true
+	}
+	return e.cc.tryLockLeaf(ref)
+}

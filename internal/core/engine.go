@@ -69,6 +69,11 @@ type engine[K, V any] struct {
 	// disables tracing. See SetTracer (trace.go).
 	tr *trace.Tracer
 
+	// ctrl adapts the retry budget and fallback entry to the live abort
+	// ratio; nil (default) keeps the fixed htm.Backoff schedule. See
+	// SetController (controller.go).
+	ctrl *htm.AdaptiveController
+
 	size atomic.Int64
 }
 
@@ -190,6 +195,9 @@ func (e *engine[K, V]) RegisterMetrics(reg *obs.Registry) {
 	e.Ops.RegisterMetrics(reg, "fptree")
 	if !e.st {
 		e.Stats.RegisterMetrics(reg, "htm")
+		if e.ctrl != nil {
+			e.ctrl.RegisterMetrics(reg, "htm")
+		}
 	}
 }
 
@@ -382,6 +390,7 @@ func (e *engine[K, V]) Find(key K) (V, bool) {
 	sp := e.tr.Start(trace.OpFind)
 	v, found := e.findT(key, sp)
 	sp.Finish()
+	e.opDone()
 	return v, found
 }
 
@@ -426,6 +435,7 @@ func (e *engine[K, V]) Insert(key K, value V) error {
 	sp := e.tr.Start(trace.OpInsert)
 	err := e.insertT(key, value, sp)
 	sp.Finish()
+	e.opDone()
 	return err
 }
 
@@ -434,7 +444,10 @@ func (e *engine[K, V]) insertT(key K, value V, sp *trace.Span) error {
 		return err
 	}
 	e.noteMutation()
+	fb := false
+	defer e.releaseFallback(&fb)
 	for attempt := 0; ; attempt++ {
+		e.maybeFallback(attempt, &fb)
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -448,7 +461,7 @@ func (e *engine[K, V]) insertT(key K, value V, sp *trace.Span) error {
 			}
 			continue
 		}
-		if !e.cc.tryLockLeaf(ref) {
+		if !e.lockLeafCC(ref, fb) {
 			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
@@ -661,12 +674,16 @@ func (e *engine[K, V]) Update(key K, value V) (bool, error) {
 	sp := e.tr.Start(trace.OpUpdate)
 	ok, err := e.updateT(key, value, sp)
 	sp.Finish()
+	e.opDone()
 	return ok, err
 }
 
 func (e *engine[K, V]) updateT(key K, value V, sp *trace.Span) (bool, error) {
 	e.noteMutation()
+	fb := false
+	defer e.releaseFallback(&fb)
 	for attempt := 0; ; attempt++ {
+		e.maybeFallback(attempt, &fb)
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -676,7 +693,7 @@ func (e *engine[K, V]) updateT(key K, value V, sp *trace.Span) (bool, error) {
 		if ref == nil {
 			return false, nil
 		}
-		if !e.cc.tryLockLeaf(ref) {
+		if !e.lockLeafCC(ref, fb) {
 			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
@@ -730,6 +747,7 @@ func (e *engine[K, V]) Upsert(key K, value V) error {
 		err = e.insertT(key, value, sp)
 	}
 	sp.Finish()
+	e.opDone()
 	return err
 }
 
@@ -746,12 +764,16 @@ func (e *engine[K, V]) Delete(key K) (bool, error) {
 	sp := e.tr.Start(trace.OpDelete)
 	ok, err := e.deleteT(key, sp)
 	sp.Finish()
+	e.opDone()
 	return ok, err
 }
 
 func (e *engine[K, V]) deleteT(key K, sp *trace.Span) (bool, error) {
 	e.noteMutation()
+	fb := false
+	defer e.releaseFallback(&fb)
 	for attempt := 0; ; attempt++ {
+		e.maybeFallback(attempt, &fb)
 		sp.Enter(trace.PhaseDescend)
 		n, ver, _, ref, ok := e.descend(key)
 		if !ok {
@@ -761,7 +783,7 @@ func (e *engine[K, V]) deleteT(key K, sp *trace.Span) (bool, error) {
 		if ref == nil {
 			return false, nil
 		}
-		if !e.cc.tryLockLeaf(ref) {
+		if !e.lockLeafCC(ref, fb) {
 			e.abortc(htm.AbortLeafLock, sp, attempt)
 			continue
 		}
@@ -988,6 +1010,7 @@ func (e *engine[K, V]) scan(from K, fn func(K, V) bool) {
 		e.scanSeek(from, fn, sp)
 	}
 	sp.Finish()
+	e.opDone()
 }
 
 type kvPair[K, V any] struct {

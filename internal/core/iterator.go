@@ -279,6 +279,7 @@ func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 		}
 		if ref == nil {
 			sp.Finish()
+			e.opDone()
 			return false // empty tree
 		}
 		if !e.cc.tryRLockLeaf(ref) {
@@ -302,6 +303,7 @@ func (it *Iter[K, V]) seek(target *K, rightmost bool) bool {
 		it.mutSnap = e.mut
 		it.haveLeaf = true
 		sp.Finish()
+		e.opDone()
 		return true
 	}
 }

@@ -21,12 +21,18 @@ func (e *engine[K, V]) Tracer() *trace.Tracer { return e.tr }
 // abortc records one optimistic-validation failure: the crash-injection
 // check every retry loop must make, the cause-tagged htm counters, and the
 // (possibly nil) span of the operation that must now restart. attempt is the
-// operation's abort count so far; it paces the retry through htm.Backoff so
-// a long-held conflict parks the goroutine instead of spinning — the TSX
-// retry budget followed by the fallback wait.
+// operation's abort count so far; it paces the retry so a long-held conflict
+// parks the goroutine instead of spinning — the TSX retry budget followed by
+// the fallback wait. With an adaptive controller installed the budget and
+// park cap are the controller's live values; otherwise the fixed
+// htm.Backoff schedule applies.
 func (e *engine[K, V]) abortc(c htm.AbortCause, sp *trace.Span, attempt int) {
 	e.pool.PanicIfCrashed()
 	e.Stats.NoteAbort(c)
 	sp.Abort(c)
-	htm.Backoff(attempt)
+	if e.ctrl != nil {
+		e.ctrl.OnAbort(c, attempt)
+	} else {
+		htm.Backoff(attempt)
+	}
 }

@@ -1,0 +1,304 @@
+package htm
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Adaptive concurrency control, after Brown's "A Template for Implementing
+// Fast Lock-free Trees Using HTM": the fallback-path policy dominates scaling
+// more than the fast path does, so the retry budget and the decision to enter
+// the global-lock fallback should track the *live* abort ratio instead of
+// being compile-time constants.
+//
+// An AdaptiveController sits beside one tree (one per kvserver shard) and
+// observes the same cause-tagged abort stream that feeds the htm_aborts_*
+// telemetry. Every AdaptEvery completed operations it folds the window's
+// conflict-abort ratio into an EWMA and moves the retry budget by AIMD
+// (additive increase, multiplicative decrease) between a configured floor and
+// ceiling, with a hysteresis band so a steady ratio never oscillates:
+//
+//	EWMA > High  -> budget halves toward Floor, backoff cap doubles
+//	               (sustained conflicts: give up optimism sooner, park longer)
+//	EWMA < Low   -> budget +1 toward Ceiling, backoff cap halves
+//	               (contention drained: restore optimism)
+//	otherwise    -> no change
+//
+// Only conflict-cause aborts (descend, leaf_lock, post_lock, iter) steer the
+// budget. Forced aborts model TSX's spurious/capacity aborts: retrying those
+// less optimistically would not help, so they count toward the totals but not
+// toward the steering signal — the same reason Brown's template sends
+// capacity aborts straight to the fallback instead of spending retries.
+//
+// Writers whose attempt count exceeds the live budget enter the fallback
+// mutex. Brown's key refinement is preserved by construction: optimistic
+// *readers* never consult the fallback lock. They validate leaf versions
+// against the writer's publication point (occCC bumps the leaf version before
+// releasing the leaf lock), so a reader overlapping a fallback writer either
+// validates a consistent pre-image or aborts and retries — it never stalls on
+// the global lock. See CONCURRENCY.md for the full safety argument.
+
+// AdaptiveConfig bounds and paces an AdaptiveController. The zero value
+// selects the defaults documented on each field.
+type AdaptiveConfig struct {
+	// Floor and Ceiling bound the retry budget (optimistic attempts before a
+	// writer enters the fallback lock). Defaults 2 and 16; the fixed-budget
+	// DefaultMaxRetries sits between them.
+	Floor   int
+	Ceiling int
+
+	// BackoffFloor and BackoffCeiling bound the exponential-backoff park cap
+	// applied past the budget. Defaults 16µs and 256µs (the fixed Backoff
+	// caps at 64µs).
+	BackoffFloor   time.Duration
+	BackoffCeiling time.Duration
+
+	// Low and High are the EWMA hysteresis thresholds, in conflict aborts per
+	// completed operation. Below Low the budget grows; above High it shrinks;
+	// between them it holds. Defaults 0.05 and 0.5.
+	Low  float64
+	High float64
+
+	// Alpha is the EWMA weight of the newest window sample. Default 0.4.
+	Alpha float64
+
+	// AdaptEvery is the adaptation period in completed operations. Counting
+	// operations instead of wall time keeps adaptation deterministic under
+	// test and naturally scales the sampling rate with load. Default 256.
+	AdaptEvery int
+
+	// AlwaysFallback forces every write through the fallback lock regardless
+	// of the abort ratio — the verification mode crashtest uses to prove the
+	// serialized path preserves persistence ordering.
+	AlwaysFallback bool
+}
+
+// Defaults for AdaptiveConfig's zero fields.
+const (
+	DefaultAdaptiveFloor   = 2
+	DefaultAdaptiveCeiling = 16
+	DefaultAdaptEvery      = 256
+)
+
+const (
+	defaultBackoffFloor   = 16 * time.Microsecond
+	defaultBackoffCeiling = 256 * time.Microsecond
+	defaultEWMALow        = 0.05
+	defaultEWMAHigh       = 0.5
+	defaultEWMAAlpha      = 0.4
+)
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Floor <= 0 {
+		c.Floor = DefaultAdaptiveFloor
+	}
+	if c.Ceiling <= 0 {
+		c.Ceiling = DefaultAdaptiveCeiling
+	}
+	if c.Ceiling < c.Floor {
+		c.Ceiling = c.Floor
+	}
+	if c.BackoffFloor <= 0 {
+		c.BackoffFloor = defaultBackoffFloor
+	}
+	if c.BackoffCeiling <= 0 {
+		c.BackoffCeiling = defaultBackoffCeiling
+	}
+	if c.BackoffCeiling < c.BackoffFloor {
+		c.BackoffCeiling = c.BackoffFloor
+	}
+	if c.Low <= 0 {
+		c.Low = defaultEWMALow
+	}
+	if c.High <= 0 {
+		c.High = defaultEWMAHigh
+	}
+	if c.High < c.Low {
+		c.High = c.Low
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = defaultEWMAAlpha
+	}
+	if c.AdaptEvery <= 0 {
+		c.AdaptEvery = DefaultAdaptEvery
+	}
+	return c
+}
+
+// AdaptiveStats counts controller events; all fields are safe to read while
+// the controller is live.
+type AdaptiveStats struct {
+	Adaptations     atomic.Uint64 // adaptation windows evaluated
+	BudgetCuts      atomic.Uint64 // windows that shrank the budget
+	BudgetRaises    atomic.Uint64 // windows that grew the budget
+	FallbackEntries atomic.Uint64 // writer entries into the fallback lock
+}
+
+// AdaptiveController owns the live retry budget, backoff cap, and fallback
+// lock for one tree. All methods are safe for concurrent use; the controller
+// adds two atomic increments to the completed-op path and nothing to the
+// conflict-free read path beyond them.
+type AdaptiveController struct {
+	cfg AdaptiveConfig
+
+	budget atomic.Int64  // live retry budget, in [Floor, Ceiling]
+	capNS  atomic.Int64  // live backoff park cap, nanoseconds
+	ewma   atomic.Uint64 // float64 bits of the conflict-abort-ratio EWMA
+
+	ops       atomic.Uint64 // completed ops in the current window
+	conflicts atomic.Uint64 // conflict-cause aborts in the current window
+	adapting  atomic.Bool   // single-flight latch for window evaluation
+
+	fbMu   sync.Mutex   // the global fallback lock (writers only)
+	fbHeld atomic.Int32 // gauge: 1 while a fallback writer is inside
+
+	Stats AdaptiveStats
+}
+
+// NewAdaptiveController returns a controller with the budget at cfg's ceiling
+// (start optimistic, earn pessimism) and the backoff cap at its floor.
+func NewAdaptiveController(cfg AdaptiveConfig) *AdaptiveController {
+	c := &AdaptiveController{cfg: cfg.withDefaults()}
+	c.budget.Store(int64(c.cfg.Ceiling))
+	c.capNS.Store(int64(c.cfg.BackoffFloor))
+	return c
+}
+
+// Config returns the controller's effective configuration (defaults applied).
+func (c *AdaptiveController) Config() AdaptiveConfig { return c.cfg }
+
+// Budget returns the live retry budget.
+func (c *AdaptiveController) Budget() int { return int(c.budget.Load()) }
+
+// BackoffCap returns the live exponential-backoff park cap.
+func (c *AdaptiveController) BackoffCap() time.Duration {
+	return time.Duration(c.capNS.Load())
+}
+
+// AbortEWMA returns the smoothed conflict-aborts-per-op ratio the controller
+// is steering on.
+func (c *AdaptiveController) AbortEWMA() float64 {
+	return math.Float64frombits(c.ewma.Load())
+}
+
+// FallbackHeld reports whether a fallback writer is currently inside the
+// global lock.
+func (c *AdaptiveController) FallbackHeld() bool { return c.fbHeld.Load() != 0 }
+
+// OnOp records one completed operation and, at window boundaries, re-evaluates
+// the budget. Called once per public tree operation (find, insert, update,
+// delete, one per iterator seek).
+func (c *AdaptiveController) OnOp() {
+	if c.ops.Add(1) < uint64(c.cfg.AdaptEvery) {
+		return
+	}
+	if !c.adapting.CompareAndSwap(false, true) {
+		return
+	}
+	ops := c.ops.Swap(0)
+	conflicts := c.conflicts.Swap(0)
+	c.adapt(ops, conflicts)
+	c.adapting.Store(false)
+}
+
+// OnAbort records one abort and paces the retry, replacing the fixed Backoff
+// when a controller is attached: within the live budget it yields, past it it
+// parks with exponentially growing sleeps capped at the live backoff cap.
+func (c *AdaptiveController) OnAbort(cause AbortCause, attempt int) {
+	if isConflictCause(cause) {
+		c.conflicts.Add(1)
+	}
+	budget := int(c.budget.Load())
+	if attempt < budget {
+		runtime.Gosched()
+		return
+	}
+	shift := attempt - budget
+	if shift > 16 {
+		shift = 16
+	}
+	d := time.Microsecond << shift
+	if cap := time.Duration(c.capNS.Load()); d > cap {
+		d = cap
+	}
+	time.Sleep(d)
+}
+
+// isConflictCause reports whether a cause represents a genuine data conflict
+// (the signal the budget steers on). Forced aborts emulate TSX
+// spurious/capacity aborts — shrinking the budget cannot avoid them — and
+// unclassified aborts carry no locality information.
+func isConflictCause(cause AbortCause) bool {
+	switch cause {
+	case AbortDescend, AbortLeafLock, AbortPostLock, AbortIter:
+		return true
+	}
+	return false
+}
+
+// ShouldFallback reports whether a writer at the given attempt number should
+// stop retrying optimistically and take the fallback lock.
+func (c *AdaptiveController) ShouldFallback(attempt int) bool {
+	return c.cfg.AlwaysFallback || attempt > int(c.budget.Load())
+}
+
+// EnterFallback takes the global fallback lock. Writers only: optimistic
+// readers validate against the fallback writer's leaf-version publication
+// point instead of waiting here (Brown's refinement).
+func (c *AdaptiveController) EnterFallback() {
+	c.fbMu.Lock()
+	c.fbHeld.Store(1)
+	c.Stats.FallbackEntries.Add(1)
+}
+
+// ExitFallback releases the global fallback lock.
+func (c *AdaptiveController) ExitFallback() {
+	c.fbHeld.Store(0)
+	c.fbMu.Unlock()
+}
+
+// adapt folds one window sample into the EWMA and applies the AIMD step.
+func (c *AdaptiveController) adapt(ops, conflicts uint64) {
+	if ops == 0 {
+		return
+	}
+	sample := float64(conflicts) / float64(ops)
+	e := c.cfg.Alpha*sample + (1-c.cfg.Alpha)*c.AbortEWMA()
+	c.ewma.Store(math.Float64bits(e))
+	c.Stats.Adaptations.Add(1)
+
+	switch {
+	case e > c.cfg.High:
+		// Sustained conflicts: halve the budget toward the floor so writers
+		// reach the fallback lock sooner, and park losers longer.
+		b := int(c.budget.Load()) / 2
+		if b < c.cfg.Floor {
+			b = c.cfg.Floor
+		}
+		if int64(b) != c.budget.Swap(int64(b)) {
+			c.Stats.BudgetCuts.Add(1)
+		}
+		cap := 2 * time.Duration(c.capNS.Load())
+		if cap > c.cfg.BackoffCeiling {
+			cap = c.cfg.BackoffCeiling
+		}
+		c.capNS.Store(int64(cap))
+	case e < c.cfg.Low:
+		// Contention drained: restore optimism one attempt at a time.
+		b := int(c.budget.Load()) + 1
+		if b > c.cfg.Ceiling {
+			b = c.cfg.Ceiling
+		}
+		if int64(b) != c.budget.Swap(int64(b)) {
+			c.Stats.BudgetRaises.Add(1)
+		}
+		cap := time.Duration(c.capNS.Load()) / 2
+		if cap < c.cfg.BackoffFloor {
+			cap = c.cfg.BackoffFloor
+		}
+		c.capNS.Store(int64(cap))
+	}
+}

@@ -1,0 +1,235 @@
+package htm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// feedWindow drives one full adaptation window through the controller: ops
+// completed operations, each preceded by abortsPerOp conflict aborts of the
+// given cause. Synchronous and single-goroutine, so adaptation is
+// deterministic.
+func feedWindow(c *AdaptiveController, ops, abortsPerOp int, cause AbortCause) {
+	for i := 0; i < ops; i++ {
+		for a := 0; a < abortsPerOp; a++ {
+			c.OnAbort(cause, 0) // attempt 0: yields, never sleeps
+		}
+		c.OnOp()
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	c := NewAdaptiveController(AdaptiveConfig{})
+	cfg := c.Config()
+	if cfg.Floor != DefaultAdaptiveFloor || cfg.Ceiling != DefaultAdaptiveCeiling {
+		t.Fatalf("budget bounds = [%d,%d]", cfg.Floor, cfg.Ceiling)
+	}
+	if cfg.AdaptEvery != DefaultAdaptEvery {
+		t.Fatalf("AdaptEvery = %d", cfg.AdaptEvery)
+	}
+	if got := c.Budget(); got != cfg.Ceiling {
+		t.Fatalf("initial budget = %d, want ceiling %d", got, cfg.Ceiling)
+	}
+	if got := c.BackoffCap(); got != cfg.BackoffFloor {
+		t.Fatalf("initial backoff cap = %v, want floor %v", got, cfg.BackoffFloor)
+	}
+	if cfg.Low >= cfg.High {
+		t.Fatalf("hysteresis band inverted: Low=%v High=%v", cfg.Low, cfg.High)
+	}
+}
+
+// TestAdaptiveRampUp: a sustained high-conflict stream must drive the budget
+// to the floor and the backoff cap to the ceiling, staying in bounds at every
+// step, and stay there while the stream continues.
+func TestAdaptiveRampUp(t *testing.T) {
+	cfg := AdaptiveConfig{Floor: 2, Ceiling: 16, AdaptEvery: 64}
+	c := NewAdaptiveController(cfg)
+	cfg = c.Config()
+	for round := 0; round < 12; round++ {
+		feedWindow(c, cfg.AdaptEvery, 2, AbortLeafLock) // ratio 2.0 >> High
+		b := c.Budget()
+		if b < cfg.Floor || b > cfg.Ceiling {
+			t.Fatalf("round %d: budget %d out of [%d,%d]", round, b, cfg.Floor, cfg.Ceiling)
+		}
+		if cap := c.BackoffCap(); cap < cfg.BackoffFloor || cap > cfg.BackoffCeiling {
+			t.Fatalf("round %d: backoff cap %v out of [%v,%v]", round, cap, cfg.BackoffFloor, cfg.BackoffCeiling)
+		}
+	}
+	if got := c.Budget(); got != cfg.Floor {
+		t.Fatalf("budget after sustained conflicts = %d, want floor %d", got, cfg.Floor)
+	}
+	if got := c.BackoffCap(); got != cfg.BackoffCeiling {
+		t.Fatalf("backoff cap after sustained conflicts = %v, want ceiling %v", got, cfg.BackoffCeiling)
+	}
+	if c.Stats.BudgetCuts.Load() == 0 {
+		t.Fatal("no budget cuts recorded")
+	}
+	// At the floor, further conflict windows must not move it (no underflow).
+	feedWindow(c, cfg.AdaptEvery, 2, AbortDescend)
+	if got := c.Budget(); got != cfg.Floor {
+		t.Fatalf("budget left the floor under continued conflicts: %d", got)
+	}
+}
+
+// TestAdaptiveDrain: after contention drains, calm windows must restore the
+// budget to the ceiling and the backoff cap to the floor.
+func TestAdaptiveDrain(t *testing.T) {
+	cfg := AdaptiveConfig{Floor: 2, Ceiling: 16, AdaptEvery: 64}
+	c := NewAdaptiveController(cfg)
+	cfg = c.Config()
+	for round := 0; round < 12; round++ {
+		feedWindow(c, cfg.AdaptEvery, 2, AbortLeafLock)
+	}
+	if c.Budget() != cfg.Floor {
+		t.Fatalf("precondition: budget %d != floor", c.Budget())
+	}
+	// EWMA must decay below Low, then the budget climbs +1 per window; give
+	// it decay windows plus one window per budget step.
+	for round := 0; round < 40 && c.Budget() < cfg.Ceiling; round++ {
+		feedWindow(c, cfg.AdaptEvery, 0, AbortOther) // ratio 0
+	}
+	if got := c.Budget(); got != cfg.Ceiling {
+		t.Fatalf("budget after drain = %d, want ceiling %d", got, cfg.Ceiling)
+	}
+	if got := c.BackoffCap(); got != cfg.BackoffFloor {
+		t.Fatalf("backoff cap after drain = %v, want floor %v", got, cfg.BackoffFloor)
+	}
+	if c.Stats.BudgetRaises.Load() == 0 {
+		t.Fatal("no budget raises recorded")
+	}
+}
+
+// TestAdaptiveBurst: one conflicted window inside a calm stream may dip the
+// budget, but the EWMA must smooth it and the budget must recover to the
+// ceiling once the burst passes.
+func TestAdaptiveBurst(t *testing.T) {
+	cfg := AdaptiveConfig{Floor: 2, Ceiling: 16, AdaptEvery: 64}
+	c := NewAdaptiveController(cfg)
+	cfg = c.Config()
+	for round := 0; round < 4; round++ {
+		feedWindow(c, cfg.AdaptEvery, 0, AbortOther)
+	}
+	feedWindow(c, cfg.AdaptEvery, 3, AbortPostLock) // the burst
+	dip := c.Budget()
+	if dip < cfg.Floor || dip > cfg.Ceiling {
+		t.Fatalf("budget %d out of bounds after burst", dip)
+	}
+	for round := 0; round < 40 && c.Budget() < cfg.Ceiling; round++ {
+		feedWindow(c, cfg.AdaptEvery, 0, AbortOther)
+	}
+	if got := c.Budget(); got != cfg.Ceiling {
+		t.Fatalf("budget did not recover after burst: %d", got)
+	}
+}
+
+// TestAdaptiveNoOscillation: a steady ratio inside the hysteresis band must
+// leave the budget unchanged window after window — the band exists precisely
+// so the controller cannot flap between raise and cut on a constant signal.
+func TestAdaptiveNoOscillation(t *testing.T) {
+	cfg := AdaptiveConfig{Floor: 2, Ceiling: 16, AdaptEvery: 100, Low: 0.05, High: 0.5}
+	c := NewAdaptiveController(cfg)
+	cfg = c.Config()
+	// Ratio 0.2 sits inside (Low, High): 20 conflicts per 100-op window.
+	warm := func() {
+		for i := 0; i < cfg.AdaptEvery; i++ {
+			if i < 20 {
+				c.OnAbort(AbortLeafLock, 0)
+			}
+			c.OnOp()
+		}
+	}
+	warm() // EWMA moves from 0 toward 0.2; may raise once while below Low
+	warm()
+	ref := c.Budget()
+	for round := 0; round < 20; round++ {
+		warm()
+		if got := c.Budget(); got != ref {
+			t.Fatalf("round %d: budget oscillated %d -> %d on a steady in-band ratio", round, ref, got)
+		}
+	}
+}
+
+// TestAdaptiveForcedAbortsDoNotSteer: forced (spurious/capacity-analogue)
+// aborts must not shrink the budget — only conflict causes carry a signal the
+// budget can act on.
+func TestAdaptiveForcedAbortsDoNotSteer(t *testing.T) {
+	cfg := AdaptiveConfig{Floor: 2, Ceiling: 16, AdaptEvery: 64}
+	c := NewAdaptiveController(cfg)
+	cfg = c.Config()
+	for round := 0; round < 10; round++ {
+		feedWindow(c, cfg.AdaptEvery, 3, AbortForced)
+	}
+	if got := c.Budget(); got != cfg.Ceiling {
+		t.Fatalf("forced aborts moved the budget: %d", got)
+	}
+	if got := c.AbortEWMA(); got != 0 {
+		t.Fatalf("forced aborts leaked into the conflict EWMA: %v", got)
+	}
+}
+
+func TestAdaptiveShouldFallback(t *testing.T) {
+	c := NewAdaptiveController(AdaptiveConfig{Floor: 2, Ceiling: 4})
+	if c.ShouldFallback(0) || c.ShouldFallback(4) {
+		t.Fatal("fallback before exhausting the budget")
+	}
+	if !c.ShouldFallback(5) {
+		t.Fatal("no fallback past the budget")
+	}
+	af := NewAdaptiveController(AdaptiveConfig{AlwaysFallback: true})
+	if !af.ShouldFallback(0) {
+		t.Fatal("AlwaysFallback did not force fallback on attempt 0")
+	}
+}
+
+// TestAdaptiveFallbackMutualExclusion: Enter/ExitFallback is a real mutex and
+// the held gauge plus entry counter track it.
+func TestAdaptiveFallbackMutualExclusion(t *testing.T) {
+	c := NewAdaptiveController(AdaptiveConfig{})
+	const goroutines, rounds = 4, 200
+	var inside, max int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.EnterFallback()
+				mu.Lock()
+				inside++
+				if inside > max {
+					max = inside
+				}
+				if !c.FallbackHeld() {
+					t.Error("FallbackHeld false inside the critical section")
+				}
+				inside--
+				mu.Unlock()
+				c.ExitFallback()
+			}
+		}()
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("fallback admitted %d holders at once", max)
+	}
+	if got := c.Stats.FallbackEntries.Load(); got != goroutines*rounds {
+		t.Fatalf("FallbackEntries = %d, want %d", got, goroutines*rounds)
+	}
+	if c.FallbackHeld() {
+		t.Fatal("FallbackHeld stuck after release")
+	}
+}
+
+// TestAdaptiveOnAbortPacing: past the budget the park is bounded by the live
+// cap; within it, OnAbort returns promptly.
+func TestAdaptiveOnAbortPacing(t *testing.T) {
+	c := NewAdaptiveController(AdaptiveConfig{Floor: 2, Ceiling: 4, BackoffCeiling: 100 * time.Microsecond})
+	start := time.Now()
+	c.OnAbort(AbortDescend, 0)    // within budget: yield only
+	c.OnAbort(AbortDescend, 1000) // far past budget: park, capped
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("OnAbort park unbounded: %v", elapsed)
+	}
+}

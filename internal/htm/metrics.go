@@ -20,3 +20,34 @@ func (s *Stats) RegisterMetrics(reg *obs.Registry, prefix string) {
 			s.ByCause[c].Load)
 	}
 }
+
+// RegisterMetrics exposes the adaptive controller's live state and event
+// counters on reg under the given prefix (e.g. "htm"): the budget/backoff-cap
+// gauges operators watch to see the controller react to contention, plus the
+// fallback-entry and adaptation counters the contention sweep records.
+func (c *AdaptiveController) RegisterMetrics(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"_adaptive_budget",
+		"live optimistic retry budget (writers enter the fallback lock past it)",
+		func() float64 { return float64(c.Budget()) })
+	reg.GaugeFunc(prefix+"_adaptive_backoff_cap_ns",
+		"live exponential-backoff park cap applied past the budget",
+		func() float64 { return float64(c.BackoffCap()) })
+	reg.GaugeFunc(prefix+"_adaptive_abort_ewma",
+		"smoothed conflict-aborts-per-op ratio steering the budget",
+		c.AbortEWMA)
+	reg.GaugeFunc(prefix+"_fallback_held",
+		"1 while a fallback writer holds the global lock",
+		func() float64 { return float64(c.fbHeld.Load()) })
+	reg.CounterFunc(prefix+"_fallback_entries_total",
+		"writer entries into the global fallback lock",
+		c.Stats.FallbackEntries.Load)
+	reg.CounterFunc(prefix+"_adaptive_adaptations_total",
+		"adaptation windows evaluated by the controller",
+		c.Stats.Adaptations.Load)
+	reg.CounterFunc(prefix+"_adaptive_budget_cuts_total",
+		"adaptation windows that shrank the retry budget",
+		c.Stats.BudgetCuts.Load)
+	reg.CounterFunc(prefix+"_adaptive_budget_raises_total",
+		"adaptation windows that grew the retry budget",
+		c.Stats.BudgetRaises.Load)
+}

@@ -1,0 +1,114 @@
+package kvserver
+
+import (
+	"fptree/internal/htm"
+	"fptree/internal/obs"
+)
+
+// Adaptive concurrency plumbing: each shard is its own occCC domain, so each
+// gets its own htm.AdaptiveController — abort storms on one hot shard shrink
+// that shard's retry budget without costing the calm shards any optimism.
+
+// controllerSetter and controllerGetter are the optional store interfaces
+// tree-backed stores implement (the engine promotes SetController/Controller
+// through the facades) so controllers attach without constructor plumbing.
+type controllerSetter interface {
+	SetController(*htm.AdaptiveController)
+}
+
+type controllerGetter interface {
+	Controller() *htm.AdaptiveController
+}
+
+func (s cvarStore) SetController(c *htm.AdaptiveController) { s.t.SetController(c) }
+func (s cvarStore) Controller() *htm.AdaptiveController     { return s.t.Controller() }
+
+// AttachAdaptive installs one adaptive controller per shard of st (or one on
+// an unsharded store) and returns the controllers it attached. Stores whose
+// engine is not concurrent are skipped — a controller is only attached where
+// it actually steers a retry loop, so the returned slice length is the number
+// of live controllers. Call before the store serves traffic and before
+// metrics registration.
+func AttachAdaptive(st Store, cfg htm.AdaptiveConfig) []*htm.AdaptiveController {
+	attach := func(sh Store) *htm.AdaptiveController {
+		cs, ok := sh.(controllerSetter)
+		if !ok {
+			return nil
+		}
+		c := htm.NewAdaptiveController(cfg)
+		cs.SetController(c)
+		// The engine ignores controllers on single-threaded trees; only
+		// report the ones that actually took.
+		if cg, ok := sh.(controllerGetter); !ok || cg.Controller() != c {
+			return nil
+		}
+		return c
+	}
+	if ss, ok := st.(*ShardedStore); ok {
+		var out []*htm.AdaptiveController
+		for _, sh := range ss.shards {
+			if c := attach(sh); c != nil {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	if c := attach(st); c != nil {
+		return []*htm.AdaptiveController{c}
+	}
+	return nil
+}
+
+// registerControllerMetrics exposes the fleet's adaptive-controller state on
+// reg: event counters summed under the canonical unlabeled names, the
+// unlabeled budget gauge as the minimum across shards (the most contended
+// shard — the one an operator alarms on), and per-shard labeled series for
+// the budget, EWMA, and fallback entries.
+func (s *ShardedStore) registerControllerMetrics(reg *obs.Registry) {
+	var ctrls []*htm.AdaptiveController
+	for _, sh := range s.shards {
+		cg, ok := sh.(controllerGetter)
+		if !ok || cg.Controller() == nil {
+			return // uniform fleets only, like the engine-counter aggregation
+		}
+		ctrls = append(ctrls, cg.Controller())
+	}
+	sum := func(get func(*htm.AdaptiveController) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range ctrls {
+				t += get(c)
+			}
+			return t
+		}
+	}
+	agg := " (summed across shards)"
+	reg.CounterFunc("htm_fallback_entries_total", "writer entries into the global fallback lock"+agg,
+		sum(func(c *htm.AdaptiveController) uint64 { return c.Stats.FallbackEntries.Load() }))
+	reg.CounterFunc("htm_adaptive_adaptations_total", "adaptation windows evaluated"+agg,
+		sum(func(c *htm.AdaptiveController) uint64 { return c.Stats.Adaptations.Load() }))
+	reg.CounterFunc("htm_adaptive_budget_cuts_total", "adaptation windows that shrank a retry budget"+agg,
+		sum(func(c *htm.AdaptiveController) uint64 { return c.Stats.BudgetCuts.Load() }))
+	reg.CounterFunc("htm_adaptive_budget_raises_total", "adaptation windows that grew a retry budget"+agg,
+		sum(func(c *htm.AdaptiveController) uint64 { return c.Stats.BudgetRaises.Load() }))
+	reg.GaugeFunc("htm_adaptive_budget", "minimum live retry budget across shards (most contended shard)",
+		func() float64 {
+			min := ctrls[0].Budget()
+			for _, c := range ctrls[1:] {
+				if b := c.Budget(); b < min {
+					min = b
+				}
+			}
+			return float64(min)
+		})
+	for i, c := range ctrls {
+		c := c
+		lbl := obs.ShardLabel(i)
+		reg.GaugeFuncL("htm_adaptive_budget", lbl, "live optimistic retry budget",
+			func() float64 { return float64(c.Budget()) })
+		reg.GaugeFuncL("htm_adaptive_abort_ewma", lbl, "smoothed conflict-aborts-per-op ratio",
+			c.AbortEWMA)
+		reg.CounterFuncL("htm_fallback_entries_total", lbl, "writer entries into the global fallback lock",
+			c.Stats.FallbackEntries.Load)
+	}
+}

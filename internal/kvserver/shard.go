@@ -256,6 +256,7 @@ func (s *ShardedStore) RegisterMetrics(reg *obs.Registry) {
 				func() float64 { return float64(c.Len()) })
 		}
 	}
+	s.registerControllerMetrics(reg)
 }
 
 // ShardStat is the per-shard view behind the `stats shards` verbose form.

@@ -56,6 +56,28 @@ func TestMarkdownLinks(t *testing.T) {
 	}
 }
 
+// TestDeepDiveDocsLinked pins the documentation topology: the deep-dive
+// walkthroughs (RECOVERY.md, CONCURRENCY.md) must exist and be reachable from
+// both README.md and ARCHITECTURE.md, so a reader landing on either entry
+// point can find them. A reorganization that drops a link fails here even
+// though no link *target* broke.
+func TestDeepDiveDocsLinked(t *testing.T) {
+	for _, doc := range []string{"RECOVERY.md", "CONCURRENCY.md"} {
+		if _, err := os.Stat(doc); err != nil {
+			t.Fatalf("deep-dive doc missing: %v", err)
+		}
+		for _, from := range []string{"README.md", "ARCHITECTURE.md"} {
+			data, err := os.ReadFile(from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "("+doc+")") {
+				t.Errorf("%s does not link %s", from, doc)
+			}
+		}
+	}
+}
+
 // extractLinkTargets returns the link destinations of every markdown inline
 // link outside fenced code blocks.
 func extractLinkTargets(linkRe *regexp.Regexp, doc string) []string {
